@@ -1,0 +1,34 @@
+"""Benchmark harness plumbing.
+
+Each bench target regenerates one of the paper's tables/figures via its
+experiment module, measures wall time with pytest-benchmark (single
+round — these are simulation pipelines, not microbenchmarks), prints the
+paper-vs-measured report, and asserts the reproduction is within
+tolerance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import ExperimentOutput
+
+
+def run_experiment_bench(benchmark, run, seed: int = 0) -> ExperimentOutput:
+    """Benchmark one experiment run and validate its rows."""
+    output = benchmark.pedantic(run, args=(seed,), rounds=1, iterations=1)
+    print()
+    print(output.render())
+    failing = [row.name for row in output.rows if not row.ok]
+    assert output.passed, f"rows outside tolerance: {failing}"
+    return output
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_scenario_cache():
+    """Pre-simulate the shared week so the first bench isn't charged for it."""
+    from repro.workloads.scenarios import olygamer_scenario
+
+    scenario = olygamer_scenario(seed=0)
+    scenario.population  # force the session-level week
+    yield

@@ -1,0 +1,9 @@
+"""Bench: regenerate X4 — multi-server aggregation study (§IV)."""
+
+from benchmarks.conftest import run_experiment_bench
+from repro.experiments import aggregation
+
+
+def test_bench_aggregation(benchmark):
+    """Regenerates X4 — multi-server aggregation study (§IV) and checks paper-vs-measured tolerance."""
+    run_experiment_bench(benchmark, aggregation.run)

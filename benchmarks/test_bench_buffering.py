@@ -1,0 +1,9 @@
+"""Bench: regenerate X3 — buffering vs lookup-capacity ablation (§IV-A)."""
+
+from benchmarks.conftest import run_experiment_bench
+from repro.experiments import buffering
+
+
+def test_bench_buffering(benchmark):
+    """Regenerates X3 — buffering vs lookup-capacity ablation (§IV-A) and checks paper-vs-measured tolerance."""
+    run_experiment_bench(benchmark, buffering.run)

@@ -1,0 +1,9 @@
+"""Bench: regenerate X1 — preferential route caching ablation (§IV-B)."""
+
+from benchmarks.conftest import run_experiment_bench
+from repro.experiments import caching
+
+
+def test_bench_caching(benchmark):
+    """Regenerates X1 — preferential route caching ablation (§IV-B) and checks paper-vs-measured tolerance."""
+    run_experiment_bench(benchmark, caching.run)

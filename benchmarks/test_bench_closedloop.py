@@ -1,0 +1,9 @@
+"""Bench: regenerate X5 — closed-loop NAT validation."""
+
+from benchmarks.conftest import run_experiment_bench
+from repro.experiments import closedloop
+
+
+def test_bench_closedloop(benchmark):
+    """Regenerates X5 — closed-loop NAT validation and checks paper-vs-measured tolerance."""
+    run_experiment_bench(benchmark, closedloop.run)

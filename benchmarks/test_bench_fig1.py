@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig 1 — per-minute bandwidth, whole week."""
+
+from benchmarks.conftest import run_experiment_bench
+from repro.experiments import fig1
+
+
+def test_bench_fig1(benchmark):
+    """Regenerates Fig 1 — per-minute bandwidth, whole week and checks paper-vs-measured tolerance."""
+    run_experiment_bench(benchmark, fig1.run)

@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig 10 — packet load at m=30min."""
+
+from benchmarks.conftest import run_experiment_bench
+from repro.experiments import fig10
+
+
+def test_bench_fig10(benchmark):
+    """Regenerates Fig 10 — packet load at m=30min and checks paper-vs-measured tolerance."""
+    run_experiment_bench(benchmark, fig10.run)

@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig 11 — client bandwidth histogram."""
+
+from benchmarks.conftest import run_experiment_bench
+from repro.experiments import fig11
+
+
+def test_bench_fig11(benchmark):
+    """Regenerates Fig 11 — client bandwidth histogram and checks paper-vs-measured tolerance."""
+    run_experiment_bench(benchmark, fig11.run)

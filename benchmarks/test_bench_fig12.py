@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig 12 — packet size PDFs."""
+
+from benchmarks.conftest import run_experiment_bench
+from repro.experiments import fig12
+
+
+def test_bench_fig12(benchmark):
+    """Regenerates Fig 12 — packet size PDFs and checks paper-vs-measured tolerance."""
+    run_experiment_bench(benchmark, fig12.run)

@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig 13 — packet size CDFs."""
+
+from benchmarks.conftest import run_experiment_bench
+from repro.experiments import fig13
+
+
+def test_bench_fig13(benchmark):
+    """Regenerates Fig 13 — packet size CDFs and checks paper-vs-measured tolerance."""
+    run_experiment_bench(benchmark, fig13.run)

@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig 14 — per-second incoming load through the NAT."""
+
+from benchmarks.conftest import run_experiment_bench
+from repro.experiments import fig14
+
+
+def test_bench_fig14(benchmark):
+    """Regenerates Fig 14 — per-second incoming load through the NAT and checks paper-vs-measured tolerance."""
+    run_experiment_bench(benchmark, fig14.run)

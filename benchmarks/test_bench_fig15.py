@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig 15 — per-second outgoing load through the NAT."""
+
+from benchmarks.conftest import run_experiment_bench
+from repro.experiments import fig15
+
+
+def test_bench_fig15(benchmark):
+    """Regenerates Fig 15 — per-second outgoing load through the NAT and checks paper-vs-measured tolerance."""
+    run_experiment_bench(benchmark, fig15.run)

@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig 2 — per-minute packet load, whole week."""
+
+from benchmarks.conftest import run_experiment_bench
+from repro.experiments import fig2
+
+
+def test_bench_fig2(benchmark):
+    """Regenerates Fig 2 — per-minute packet load, whole week and checks paper-vs-measured tolerance."""
+    run_experiment_bench(benchmark, fig2.run)

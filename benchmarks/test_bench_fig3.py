@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig 3 — per-minute player count, whole week."""
+
+from benchmarks.conftest import run_experiment_bench
+from repro.experiments import fig3
+
+
+def test_bench_fig3(benchmark):
+    """Regenerates Fig 3 — per-minute player count, whole week and checks paper-vs-measured tolerance."""
+    run_experiment_bench(benchmark, fig3.run)

@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig 4 — per-minute in/out bandwidth and packet load."""
+
+from benchmarks.conftest import run_experiment_bench
+from repro.experiments import fig4
+
+
+def test_bench_fig4(benchmark):
+    """Regenerates Fig 4 — per-minute in/out bandwidth and packet load and checks paper-vs-measured tolerance."""
+    run_experiment_bench(benchmark, fig4.run)

@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig 5 — variance-time plot and Hurst regimes."""
+
+from benchmarks.conftest import run_experiment_bench
+from repro.experiments import fig5
+
+
+def test_bench_fig5(benchmark):
+    """Regenerates Fig 5 — variance-time plot and Hurst regimes and checks paper-vs-measured tolerance."""
+    run_experiment_bench(benchmark, fig5.run)

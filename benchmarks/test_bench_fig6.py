@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig 6 — total packet load at m=10ms."""
+
+from benchmarks.conftest import run_experiment_bench
+from repro.experiments import fig6
+
+
+def test_bench_fig6(benchmark):
+    """Regenerates Fig 6 — total packet load at m=10ms and checks paper-vs-measured tolerance."""
+    run_experiment_bench(benchmark, fig6.run)

@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig 7 — in/out packet load at m=10ms."""
+
+from benchmarks.conftest import run_experiment_bench
+from repro.experiments import fig7
+
+
+def test_bench_fig7(benchmark):
+    """Regenerates Fig 7 — in/out packet load at m=10ms and checks paper-vs-measured tolerance."""
+    run_experiment_bench(benchmark, fig7.run)

@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig 8 — total packet load at m=50ms."""
+
+from benchmarks.conftest import run_experiment_bench
+from repro.experiments import fig8
+
+
+def test_bench_fig8(benchmark):
+    """Regenerates Fig 8 — total packet load at m=50ms and checks paper-vs-measured tolerance."""
+    run_experiment_bench(benchmark, fig8.run)

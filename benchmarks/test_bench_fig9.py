@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig 9 — 1s packet load with map-change dips."""
+
+from benchmarks.conftest import run_experiment_bench
+from repro.experiments import fig9
+
+
+def test_bench_fig9(benchmark):
+    """Regenerates Fig 9 — 1s packet load with map-change dips and checks paper-vs-measured tolerance."""
+    run_experiment_bench(benchmark, fig9.run)

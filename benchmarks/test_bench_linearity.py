@@ -1,0 +1,9 @@
+"""Bench: regenerate X2 — per-player linearity sweep (§III-B)."""
+
+from benchmarks.conftest import run_experiment_bench
+from repro.experiments import linearity
+
+
+def test_bench_linearity(benchmark):
+    """Regenerates X2 — per-player linearity sweep (§III-B) and checks paper-vs-measured tolerance."""
+    run_experiment_bench(benchmark, linearity.run)

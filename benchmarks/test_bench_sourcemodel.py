@@ -1,0 +1,9 @@
+"""Bench: regenerate X6 — Borella-style source model fit + closure test (§IV-B)."""
+
+from benchmarks.conftest import run_experiment_bench
+from repro.experiments import sourcemodel
+
+
+def test_bench_sourcemodel(benchmark):
+    """Regenerates the source-model closure experiment and checks tolerance."""
+    run_experiment_bench(benchmark, sourcemodel.run)

@@ -1,0 +1,9 @@
+"""Bench: regenerate Table I — general trace information."""
+
+from benchmarks.conftest import run_experiment_bench
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark):
+    """Regenerates Table I — general trace information and checks paper-vs-measured tolerance."""
+    run_experiment_bench(benchmark, table1.run)

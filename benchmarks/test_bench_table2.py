@@ -1,0 +1,9 @@
+"""Bench: regenerate Table II — network usage information."""
+
+from benchmarks.conftest import run_experiment_bench
+from repro.experiments import table2
+
+
+def test_bench_table2(benchmark):
+    """Regenerates Table II — network usage information and checks paper-vs-measured tolerance."""
+    run_experiment_bench(benchmark, table2.run)

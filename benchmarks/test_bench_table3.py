@@ -1,0 +1,9 @@
+"""Bench: regenerate Table III — application information."""
+
+from benchmarks.conftest import run_experiment_bench
+from repro.experiments import table3
+
+
+def test_bench_table3(benchmark):
+    """Regenerates Table III — application information and checks paper-vs-measured tolerance."""
+    run_experiment_bench(benchmark, table3.run)

@@ -1,0 +1,9 @@
+"""Bench: regenerate Table IV — NAT experiment loss rates."""
+
+from benchmarks.conftest import run_experiment_bench
+from repro.experiments import table4
+
+
+def test_bench_table4(benchmark):
+    """Regenerates Table IV — NAT experiment loss rates and checks paper-vs-measured tolerance."""
+    run_experiment_bench(benchmark, table4.run)

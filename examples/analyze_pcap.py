@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Analyse a pcap capture of a game server — the real-trace workflow.
+
+The analysis layer is generation-agnostic: anything the synthetic
+pipelines compute can run on an actual tcpdump capture.  Given no
+argument, this example first *writes* a pcap from ten simulated minutes
+(standing in for the capture you would take with ``tcpdump -w``), then
+ingests and analyses it.
+
+Usage::
+
+    python examples/analyze_pcap.py [capture.pcap [server_ip]]
+"""
+
+import os
+import sys
+import tempfile
+
+from repro.core import NetworkUsage, PacketSizeAnalysis
+from repro.net import IPv4Address
+from repro.trace import read_pcap, write_pcap
+from repro.workloads import olygamer_scenario
+
+
+def synthesise_capture(path: str) -> str:
+    """Write ten simulated minutes as a pcap (the stand-in capture)."""
+    scenario = olygamer_scenario(0)
+    trace = scenario.packet_window(3700.0, 4300.0)
+    count = write_pcap(trace, path)
+    print(f"wrote {count:,} packets to {path} "
+          f"({os.path.getsize(path) / 1e6:.1f} MB)")
+    return str(trace.server_address)
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        path = sys.argv[1]
+        server = IPv4Address(sys.argv[2]) if len(sys.argv) > 2 else None
+    else:
+        path = os.path.join(tempfile.gettempdir(), "cs_server_demo.pcap")
+        server = IPv4Address(synthesise_capture(path))
+
+    print(f"reading {path} ...")
+    trace = read_pcap(path, server_address=server)
+    print(f"  {len(trace):,} packets, {trace.duration:.1f} s, "
+          f"server {trace.server_address}\n")
+
+    usage = NetworkUsage.from_trace(trace)
+    print("network usage")
+    print(f"  {usage.mean_packet_load:8.1f} pps   "
+          f"{usage.mean_bandwidth_kbps:8.1f} kbps")
+    print(f"  in : {usage.mean_packet_load_in:8.1f} pps   "
+          f"{usage.mean_bandwidth_in_kbps:8.1f} kbps")
+    print(f"  out: {usage.mean_packet_load_out:8.1f} pps   "
+          f"{usage.mean_bandwidth_out_kbps:8.1f} kbps\n")
+
+    sizes = PacketSizeAnalysis.from_trace(trace)
+    print("payload sizes")
+    print(f"  mean {sizes.mean_total:.1f} B "
+          f"(in {sizes.mean_in:.1f} / out {sizes.mean_out:.1f})")
+    print(f"  P(size <= 200 B) = {sizes.fraction_under(200.0):.3f}")
+    print(f"  inbound IQR {sizes.inbound_spread():.0f} B, "
+          f"outbound IQR {sizes.outbound_spread():.0f} B")
+
+
+if __name__ == "__main__":
+    main()

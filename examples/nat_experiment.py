@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""The Section IV NAT experiment: a 30-minute map through a 1250 pps box.
+
+Reproduces the paper's Table IV setup — a commodity NAT device between
+the busy server and the Internet — and reports the loss asymmetry, the
+drop-out structure (Figs 14/15) and what happens when you upgrade the
+device.
+
+Usage::
+
+    python examples/nat_experiment.py [seed]
+"""
+
+import sys
+
+from repro.core import NatAnalysis
+from repro.router import DeviceProfile, NatDevice
+from repro.workloads import olygamer_scenario
+
+
+def run_device(trace, device_profile, label, seed):
+    device = NatDevice(device=device_profile, seed=seed)
+    analysis = NatAnalysis.from_result(device.run(trace))
+    dropouts_in, dropouts_out = analysis.series.dropout_seconds(0.75)
+    print(f"{label} ({device_profile.lookup_rate:.0f} pps lookup engine)")
+    print(f"  clients->NAT {analysis.clients_to_nat:,}  "
+          f"NAT->server {analysis.nat_to_server:,}  "
+          f"loss {100 * analysis.incoming_loss_rate:.2f}% (paper: 1.3%)")
+    print(f"  server->NAT  {analysis.server_to_nat:,}  "
+          f"NAT->clients {analysis.nat_to_clients:,}  "
+          f"loss {100 * analysis.outgoing_loss_rate:.3f}% (paper: 0.046%)")
+    print(f"  game freezes {analysis.freeze_count}, "
+          f"inbound drop-out seconds {dropouts_in}, "
+          f"outbound {dropouts_out}, "
+          f"mean delay {1000 * analysis.mean_forwarding_delay:.2f} ms\n")
+    return analysis
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    scenario = olygamer_scenario(seed)
+    print("generating a 30-minute map of server traffic ...")
+    trace = scenario.packet_window(3600.0, 5400.0)
+    print(f"  {len(trace):,} packets\n")
+
+    barricade = run_device(trace, DeviceProfile(), "SMC Barricade-class device",
+                           seed + 100)
+    run_device(
+        trace,
+        DeviceProfile(
+            lookup_rate=10_000.0,
+            stall_interval_mean=1e9,
+            freeze_threshold=10**6,
+        ),
+        "properly provisioned device",
+        seed + 100,
+    )
+
+    if barricade.within_tolerable_band():
+        print("the commodity device sits at the paper's 'worst tolerable' "
+              "1-2% loss band — players self-tune to it by quitting")
+    print("verdict: hosting a busy game server behind the commodity device "
+          "is not feasible; the provisioned device forwards cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Provisioning study: the paper's §III-B/§IV planning questions as code.
+
+1. Does the game saturate each last-mile link class?
+2. How does server load scale with player count (the linearity claim)?
+3. How many players/servers fit behind routers of various pps budgets?
+
+Usage::
+
+    python examples/provisioning_study.py
+"""
+
+from repro.core import CapacityPlan, PerPlayerModel, linearity_experiment
+from repro.gameserver import olygamer_week
+from repro.workloads import saturation_report
+
+
+def main() -> None:
+    profile = olygamer_week()
+    per_player = PerPlayerModel.from_profile(profile)
+    demand = per_player.bandwidth_bps
+
+    print(f"per-player demand: {demand / 1000:.1f} kbps, {per_player.pps:.1f} pps\n")
+
+    print("last-mile saturation (the 'narrowest link' observation)")
+    for name, utilisation, saturated in saturation_report(demand):
+        flag = "SATURATED" if saturated else "ok"
+        print(f"  {name:10s} {100 * utilisation:6.1f}% utilised  {flag}")
+    print()
+
+    print("linearity sweep: mean load vs players (paper: 'effectively linear')")
+    result = linearity_experiment(
+        profile, player_counts=(4, 8, 12, 16, 20, 24), duration=900.0, seed=0
+    )
+    for players, pps, kbps in zip(
+        result.player_counts, result.mean_pps, result.mean_kbps
+    ):
+        print(f"  {players:5.1f} players -> {pps:7.1f} pps  {kbps:7.1f} kbps")
+    print(f"  fit: {result.kbps_per_player:.1f} kbps/player "
+          f"(R^2 = {result.kbps_fit.r_squared:.4f}), "
+          f"{result.pps_per_player:.1f} pps/player "
+          f"(R^2 = {result.pps_fit.r_squared:.4f})\n")
+
+    print("device capacity planning (lookup-bound routers, §IV)")
+    for name, pps_budget in (
+        ("SMC Barricade-class NAT", 1250.0),
+        ("mid-range edge router", 20_000.0),
+        ("core line card", 1_000_000.0),
+    ):
+        plan = CapacityPlan(device_pps_capacity=pps_budget, per_player=per_player)
+        verdict = "yes" if plan.supports_server(22) else "NO"
+        print(f"  {name:25s} {pps_budget:>10,.0f} pps -> "
+              f"{plan.max_players():>6d} players, "
+              f"{plan.max_servers():>4d} full servers  "
+              f"(hosts one 22-slot server: {verdict})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: simulate the paper's server and print its traffic profile.
+
+Runs the calibrated Olygamer-week model for one simulated hour at packet
+level, then reports the quantities from the paper's Tables II/III and
+the tick-burst structure of Section III-B.
+
+Usage::
+
+    python examples/quickstart.py [seed]
+"""
+
+import sys
+
+from repro.core import (
+    NetworkUsage,
+    PacketSizeAnalysis,
+    PeriodicityAnalysis,
+)
+from repro.workloads import olygamer_scenario
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    scenario = olygamer_scenario(seed)
+
+    print("simulating one hour of the Olygamer Counter-Strike server ...")
+    window = (3600.0, 7200.0)
+    trace = scenario.packet_window(*window)
+    print(f"  {len(trace):,} packets generated\n")
+
+    usage = NetworkUsage.from_trace(trace, duration=window[1] - window[0])
+    print("aggregate load (paper: 798 pps, 883 kbps)")
+    print(f"  packet load : {usage.mean_packet_load:7.1f} pps "
+          f"(in {usage.mean_packet_load_in:.1f} / out {usage.mean_packet_load_out:.1f})")
+    print(f"  bandwidth   : {usage.mean_bandwidth_kbps:7.1f} kbps "
+          f"(in {usage.mean_bandwidth_in_kbps:.1f} / out {usage.mean_bandwidth_out_kbps:.1f})")
+    print(f"  per slot    : {usage.mean_bandwidth_kbps / 22:7.1f} kbps "
+          "(the 56k-modem clamp)\n")
+
+    sizes = PacketSizeAnalysis.from_trace(trace)
+    print("packet sizes (paper: in 39.7 B narrow, out 129.5 B wide)")
+    print(f"  mean payload: in {sizes.mean_in:.1f} B / out {sizes.mean_out:.1f} B")
+    print(f"  under 200 B : {100 * sizes.fraction_under(200.0):.1f}% of packets\n")
+
+    ticks = PeriodicityAnalysis.from_trace(
+        trace.time_slice(window[0] + 60.0, window[0] + 120.0)
+    )
+    print("burst structure (paper: 50 ms server flood)")
+    print(f"  recovered tick period : {1000 * ticks.recovered_period_out:.0f} ms")
+    print(f"  outbound burstiness   : {ticks.burstiness_out:.1f} "
+          f"(inbound {ticks.burstiness_in:.2f})")
+    print(f"  peak/mean at 10 ms    : {ticks.peak_to_mean_out:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Route-caching ablation — the paper's §IV-B future work, executed.
+
+Mixes one hour of game traffic with an equal volume of Zipf web traffic,
+pushes the stream through a small route cache under four replacement
+policies, and reports per-class hit rates and lookup-bound throughput.
+
+Usage::
+
+    python examples/route_caching.py [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.router import EvictionPolicy, LookupCostModel, RouteCache, simulate_cache
+from repro.workloads import (
+    WebTrafficModel,
+    generate_web_packets,
+    interleave_streams,
+    olygamer_scenario,
+)
+
+CACHE_SIZES = (32, 64, 128)
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    scenario = olygamer_scenario(seed)
+    print("generating 15 minutes of game traffic ...")
+    trace = scenario.packet_window(3600.0, 4500.0)
+    game_keys = trace.dst_addrs.astype(np.int64)
+    game_sizes = trace.payload_sizes.astype(np.int64)
+
+    rng = np.random.default_rng(seed + 7)
+    web_keys, web_sizes = generate_web_packets(
+        WebTrafficModel(), game_keys.size, rng
+    )
+    keys, sizes, labels = interleave_streams(
+        rng, game_keys, game_sizes, web_keys, web_sizes
+    )
+    print(f"  {keys.size:,} packets ({game_keys.size:,} game + "
+          f"{web_keys.size:,} web)\n")
+
+    cost = LookupCostModel()
+    for capacity in CACHE_SIZES:
+        print(f"cache capacity {capacity} entries")
+        for policy in EvictionPolicy:
+            cache = RouteCache(capacity, policy=policy)
+            stats = simulate_cache(keys, sizes, cache, labels=labels)
+            print(f"  {policy.value:25s} overall {stats.hit_rate:6.3f}  "
+                  f"game {stats.class_hit_rate('game'):6.3f}  "
+                  f"web {stats.class_hit_rate('web'):6.3f}  "
+                  f"-> {cost.effective_rate(stats.hit_rate):7,.0f} pps")
+        print()
+
+    print("shape check (paper's conjecture): preferential policies keep the")
+    print("small, frequent game routes resident and beat plain LRU on the")
+    print("lookup-bound throughput of the mixed aggregate.")
+
+
+if __name__ == "__main__":
+    main()

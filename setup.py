@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-use-pep517`` works on environments without the
+``wheel`` package (PEP 660 editable installs require it).
+"""
+
+from setuptools import setup
+
+setup()

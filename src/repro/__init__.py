@@ -1,0 +1,35 @@
+"""repro — reproduction of "Provisioning On-line Games: A Traffic
+Analysis of a Busy Counter-Strike Server" (Feng, Chang, Feng, Walpole;
+IMC 2002 / OGI CSE-02-005).
+
+Top-level layout:
+
+* :mod:`repro.sim` — discrete-event engine and random streams;
+* :mod:`repro.net` — Ethernet/IPv4/UDP codecs and overhead accounting;
+* :mod:`repro.trace` — packet records, columnar traces, pcap and compact
+  formats, flow extraction;
+* :mod:`repro.stats` — binning, histograms, regression, Hurst estimators;
+* :mod:`repro.gameserver` — the calibrated Counter-Strike traffic model
+  (session, count, and packet fidelity levels);
+* :mod:`repro.router` — pps-bound NAT device and route-cache models;
+* :mod:`repro.core` — the paper's analyses (summaries, self-similarity,
+  packet sizes, per-flow bandwidth, provisioning, NAT accounting);
+* :mod:`repro.workloads` — named scenarios, link catalogue, web traffic;
+* :mod:`repro.experiments` — one module per table/figure, with a CLI
+  runner (``repro-experiments``).
+
+Quickstart::
+
+    from repro.workloads import olygamer_scenario
+    from repro.core import NetworkUsage
+
+    scenario = olygamer_scenario(seed=0)
+    trace = scenario.packet_window(3600.0, 7200.0)
+    usage = NetworkUsage.from_trace(trace, duration=3600.0)
+    print(f"{usage.mean_packet_load:.0f} pps, "
+          f"{usage.mean_bandwidth_kbps:.0f} kbps")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

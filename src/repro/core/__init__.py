@@ -1,0 +1,91 @@
+"""The paper's analyses: summaries, time series, self-similarity,
+packet sizes, per-flow bandwidth, periodicity, provisioning, and the
+NAT-experiment accounting.
+
+This package is generation-agnostic — every function takes a
+:class:`~repro.trace.Trace`, a count series, or a population result, so
+the same pipelines run on synthetic traffic or parsed pcaps.
+"""
+
+from repro.core.interarrival import InterarrivalAnalysis
+from repro.core.natanalysis import NatAnalysis, NatFlowSeries
+from repro.core.outages import DipEvent, classify_dips, detect_dips, match_expected_dips
+from repro.core.packetsize import FIGURE_TRUNCATION_BYTES, PacketSizeAnalysis
+from repro.core.population_analysis import PopulationAnalysis
+from repro.core.periodicity import PeriodicityAnalysis
+from repro.core.provisioning import (
+    CapacityPlan,
+    LinearityResult,
+    MODEM_RATE_BPS,
+    PerPlayerModel,
+    linearity_experiment,
+)
+from repro.core.report import (
+    ComparisonRow,
+    all_rows_ok,
+    format_value,
+    render_series_preview,
+    render_table,
+)
+from repro.core.selfsimilarity import (
+    MAP_BOUNDARY,
+    SelfSimilarityReport,
+    TICK_BOUNDARY,
+    stitch_variance_time,
+    variance_time_from_counts,
+    variance_time_from_trace,
+)
+from repro.core.sessions import ClientBandwidthAnalysis, MIN_FLOW_DURATION
+from repro.core.sourcemodels import (
+    DirectionModel,
+    ModelValidation,
+    SourceModel,
+    fit_source_model,
+    regenerate,
+    validate_model,
+)
+from repro.core.summary import GeneralTraceInfo, NetworkUsage
+from repro.core.timeseries import RateSeries, interval_counts, packet_load_series
+
+__all__ = [
+    "CapacityPlan",
+    "ClientBandwidthAnalysis",
+    "ComparisonRow",
+    "DipEvent",
+    "DirectionModel",
+    "FIGURE_TRUNCATION_BYTES",
+    "ModelValidation",
+    "SourceModel",
+    "GeneralTraceInfo",
+    "InterarrivalAnalysis",
+    "LinearityResult",
+    "MAP_BOUNDARY",
+    "MIN_FLOW_DURATION",
+    "MODEM_RATE_BPS",
+    "NatAnalysis",
+    "NatFlowSeries",
+    "NetworkUsage",
+    "PacketSizeAnalysis",
+    "PerPlayerModel",
+    "PeriodicityAnalysis",
+    "PopulationAnalysis",
+    "RateSeries",
+    "SelfSimilarityReport",
+    "TICK_BOUNDARY",
+    "all_rows_ok",
+    "classify_dips",
+    "detect_dips",
+    "fit_source_model",
+    "format_value",
+    "match_expected_dips",
+    "regenerate",
+    "validate_model",
+    "interval_counts",
+    "linearity_experiment",
+    "packet_load_series",
+    "render_series_preview",
+    "render_table",
+    "stitch_variance_time",
+    "variance_time_from_counts",
+    "variance_time_from_trace",
+]

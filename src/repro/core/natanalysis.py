@@ -1,0 +1,123 @@
+"""NAT experiment analysis — Table IV and Figs 14–15.
+
+Turns a :class:`~repro.router.nat.NatExperimentResult` into the paper's
+reported artifacts: the four packet counts with per-direction loss rates
+(Table IV), and the four per-second packet-load series (client→NAT,
+NAT→server, server→NAT, NAT→clients) whose drop-outs are Figs 14 and 15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.router.nat import NatExperimentResult
+from repro.stats.binning import BinnedSeries, bin_events
+from repro.trace.packet import Direction
+
+
+@dataclass(frozen=True)
+class NatFlowSeries:
+    """Per-second packet loads at the four measurement points."""
+
+    clients_to_nat: BinnedSeries
+    nat_to_server: BinnedSeries
+    server_to_nat: BinnedSeries
+    nat_to_clients: BinnedSeries
+
+    def dropout_seconds(self, threshold_fraction: float = 0.5) -> Tuple[int, int]:
+        """Seconds where forwarded load fell below ``threshold_fraction`` of offered.
+
+        Returns (inbound dropout seconds, outbound dropout seconds) — a
+        quantitative version of "frequent drop-outs" in Fig 14(b)/15.
+        """
+        if not 0.0 < threshold_fraction < 1.0:
+            raise ValueError("threshold_fraction must lie in (0, 1)")
+
+        def count(offered: BinnedSeries, forwarded: BinnedSeries) -> int:
+            offered_rates = offered.rates
+            forwarded_rates = forwarded.rates
+            n = min(offered_rates.size, forwarded_rates.size)
+            active = offered_rates[:n] > 0
+            low = forwarded_rates[:n] < threshold_fraction * offered_rates[:n]
+            return int((active & low).sum())
+
+        return (
+            count(self.clients_to_nat, self.nat_to_server),
+            count(self.server_to_nat, self.nat_to_clients),
+        )
+
+
+@dataclass(frozen=True)
+class NatAnalysis:
+    """Table IV rows plus derived quality metrics."""
+
+    server_to_nat: int
+    nat_to_clients: int
+    outgoing_loss_rate: float
+    clients_to_nat: int
+    nat_to_server: int
+    incoming_loss_rate: float
+    freeze_count: int
+    stall_count: int
+    mean_forwarding_delay: float
+    series: NatFlowSeries
+
+    @classmethod
+    def from_result(
+        cls, result: NatExperimentResult, bin_size: float = 1.0
+    ) -> "NatAnalysis":
+        """Build the full analysis from a device run."""
+        forwarding = result.forwarding
+        timestamps = forwarding.timestamps
+        directions = forwarding.directions
+        fates = forwarding.fates
+        start = float(timestamps[0]) if timestamps.size else 0.0
+        end = float(timestamps[-1]) if timestamps.size else 0.0
+
+        def series_for(mask: np.ndarray, use_departures: bool) -> BinnedSeries:
+            if use_departures:
+                times = forwarding.departures[mask]
+            else:
+                times = timestamps[mask]
+            return bin_events(times, bin_size, start_time=start, end_time=end)
+
+        in_mask = directions == np.int8(Direction.IN)
+        out_mask = directions == np.int8(Direction.OUT)
+        offered_in = in_mask & (fates >= 0)
+        offered_out = out_mask & (fates >= 0)
+        forwarded_in = in_mask & (fates == 1)
+        forwarded_out = out_mask & (fates == 1)
+
+        flow_series = NatFlowSeries(
+            clients_to_nat=series_for(offered_in, use_departures=False),
+            nat_to_server=series_for(forwarded_in, use_departures=True),
+            server_to_nat=series_for(offered_out, use_departures=False),
+            nat_to_clients=series_for(forwarded_out, use_departures=True),
+        )
+        delays = forwarding.delays()
+        return cls(
+            server_to_nat=result.server_to_nat,
+            nat_to_clients=result.nat_to_clients,
+            outgoing_loss_rate=result.outgoing_loss_rate,
+            clients_to_nat=result.clients_to_nat,
+            nat_to_server=result.nat_to_server,
+            incoming_loss_rate=result.incoming_loss_rate,
+            freeze_count=len(forwarding.freeze_windows),
+            stall_count=len(forwarding.stall_windows),
+            mean_forwarding_delay=float(delays.mean()) if delays.size else 0.0,
+            series=flow_series,
+        )
+
+    def loss_asymmetry(self) -> float:
+        """Incoming / outgoing loss ratio (paper: 1.3 / 0.046 ≈ 28x)."""
+        if self.outgoing_loss_rate == 0:
+            return float("inf") if self.incoming_loss_rate > 0 else 1.0
+        return self.incoming_loss_rate / self.outgoing_loss_rate
+
+    def within_tolerable_band(self, low: float = 0.005, high: float = 0.03) -> bool:
+        """The paper's self-tuning claim: loss sits near the 1–2 % worst
+        tolerable level."""
+        return low <= self.incoming_loss_rate <= high

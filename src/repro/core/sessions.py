@@ -1,0 +1,79 @@
+"""Per-flow bandwidth analysis — the paper's Fig 11.
+
+"We measured the mean bandwidth consumed by each flow at the server ...
+Figure 11 shows a histogram of bandwidths across all sessions in the
+trace that lasted longer than 30 sec.  The overwhelming majority of
+flows are pegged at modem rates or below ... some flows do, in fact,
+exceed the 56 kbps barrier [from] 'l337' players connecting via high
+speed links."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.histogram import Histogram, histogram
+from repro.trace.flows import flow_bandwidths
+from repro.trace.trace import Trace
+
+#: Nominal modem ceiling the game saturates (bits/second).
+MODEM_RATE_BPS = 56_000.0
+#: Minimum flow lifetime the paper includes in Fig 11.
+MIN_FLOW_DURATION = 30.0
+
+
+@dataclass(frozen=True)
+class ClientBandwidthAnalysis:
+    """Fig 11: histogram of per-flow mean bandwidths plus headline shares."""
+
+    histogram: Histogram
+    bandwidths_bps: np.ndarray
+
+    @classmethod
+    def from_trace(
+        cls,
+        trace: Trace,
+        bin_width: float = 2_000.0,
+        min_duration: float = MIN_FLOW_DURATION,
+        max_bandwidth: float = 160_000.0,
+    ) -> "ClientBandwidthAnalysis":
+        """Extract flows and histogram their mean bandwidths."""
+        bandwidths = flow_bandwidths(trace, min_duration=min_duration)
+        if bandwidths.size == 0:
+            raise ValueError(
+                f"no flows lasted >= {min_duration}s; window too short?"
+            )
+        return cls(
+            histogram=histogram(bandwidths, bin_width, low=0.0, high=max_bandwidth),
+            bandwidths_bps=bandwidths,
+        )
+
+    @property
+    def flow_count(self) -> int:
+        """Number of qualifying flows."""
+        return int(self.bandwidths_bps.size)
+
+    def fraction_at_or_below_modem(self, slack: float = 1.10) -> float:
+        """Share of flows pegged at modem rates or below.
+
+        ``slack`` absorbs header-accounting differences around the 56 kbps
+        barrier (the paper's "pegged at modem rates" eyeball criterion).
+        """
+        return float(
+            (self.bandwidths_bps <= MODEM_RATE_BPS * slack).mean()
+        )
+
+    def fraction_above_modem(self, slack: float = 1.10) -> float:
+        """Share of flows exceeding the modem barrier (the "l337" tail)."""
+        return 1.0 - self.fraction_at_or_below_modem(slack)
+
+    def modal_bandwidth_bps(self) -> float:
+        """Center of the most populated histogram bin (paper: ~40 kbps)."""
+        center, _probability = self.histogram.mode_bin()
+        return center
+
+    def mean_bandwidth_bps(self) -> float:
+        """Mean per-flow bandwidth."""
+        return float(self.bandwidths_bps.mean())

@@ -1,0 +1,43 @@
+"""Experiment plumbing shared by every table/figure reproduction.
+
+Each experiment module exposes ``run(seed=0) -> ExperimentOutput``.  The
+output carries paper-vs-measured :class:`ComparisonRow` entries (the
+quantitative claims), free-form notes (scaling caveats), and named extra
+artifacts (series arrays) that examples and tests can inspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.report import ComparisonRow, all_rows_ok, render_table
+
+
+@dataclass
+class ExperimentOutput:
+    """The result of reproducing one table or figure."""
+
+    experiment_id: str
+    title: str
+    rows: List[ComparisonRow] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        """True when every comparison row lies within its tolerance."""
+        return all_rows_ok(self.rows)
+
+    def render(self) -> str:
+        """Full plain-text report for this experiment."""
+        return render_table(
+            f"{self.experiment_id}: {self.title}", self.rows, notes=self.notes
+        )
+
+    def row(self, name: str) -> ComparisonRow:
+        """Look up one comparison row by name."""
+        for entry in self.rows:
+            if entry.name == name:
+                return entry
+        raise KeyError(f"no row named {name!r} in {self.experiment_id}")

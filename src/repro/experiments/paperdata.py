@@ -1,0 +1,106 @@
+"""Every number the paper publishes, in one place.
+
+All experiments and calibration tests compare against these constants,
+so there is a single authoritative transcription of the paper's tables
+and narrative values.  Section references follow the OGI CSE-02-005
+technical report text.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Table I — general trace information
+# ---------------------------------------------------------------------------
+TRACE_DURATION_S = 626_477.0
+MAPS_PLAYED = 339
+ESTABLISHED_CONNECTIONS = 16_030
+UNIQUE_CLIENTS_ESTABLISHING = 5_886
+ATTEMPTED_CONNECTIONS = 24_004
+UNIQUE_CLIENTS_ATTEMPTING = 8_207
+#: "each player was connected to the game an average of approximately 15 minutes"
+MEAN_SESSION_MINUTES = 15.0
+#: "each user averaged almost 3 sessions for the week"
+MEAN_SESSIONS_PER_CLIENT = 2.7
+
+# ---------------------------------------------------------------------------
+# Table II — network usage information (wire bytes)
+# ---------------------------------------------------------------------------
+TOTAL_PACKETS = 500_000_000
+TOTAL_PACKETS_IN = 273_846_081
+TOTAL_PACKETS_OUT = 226_153_919
+TOTAL_WIRE_GB = 64.42
+TOTAL_WIRE_GB_IN = 24.92
+TOTAL_WIRE_GB_OUT = 39.49
+MEAN_PPS = 798.11
+MEAN_PPS_IN = 437.12
+MEAN_PPS_OUT = 360.99
+MEAN_BANDWIDTH_KBPS = 883.0
+MEAN_BANDWIDTH_IN_KBPS = 341.0
+MEAN_BANDWIDTH_OUT_KBPS = 542.0
+
+# ---------------------------------------------------------------------------
+# Table III — application information (payload bytes)
+# ---------------------------------------------------------------------------
+TOTAL_APP_GB = 37.41
+TOTAL_APP_GB_IN = 10.13
+TOTAL_APP_GB_OUT = 27.28
+MEAN_PAYLOAD_BYTES = 80.33
+MEAN_PAYLOAD_BYTES_IN = 39.72
+MEAN_PAYLOAD_BYTES_OUT = 129.51
+
+# ---------------------------------------------------------------------------
+# Section II / III narrative
+# ---------------------------------------------------------------------------
+SERVER_SLOTS = 22
+SERVER_TICK_S = 0.050
+MAP_ROTATION_S = 1800.0
+#: 883 kbps / 22 slots — the modem-saturation observation
+PER_PLAYER_KBPS = 40.0
+MODEM_RATE_KBPS = 56.0
+#: typical achievable modem throughput the paper cites
+MODEM_EFFECTIVE_KBPS_LOW = 40.0
+MODEM_EFFECTIVE_KBPS_HIGH = 50.0
+
+# ---------------------------------------------------------------------------
+# Fig 5 — variance-time regimes
+# ---------------------------------------------------------------------------
+VT_BASE_INTERVAL_S = 0.010
+VT_TICK_BOUNDARY_S = 0.050
+VT_MAP_BOUNDARY_S = 1800.0
+#: short-range dependence reference
+HURST_SRD = 0.5
+
+# ---------------------------------------------------------------------------
+# Figs 12/13 — packet sizes
+# ---------------------------------------------------------------------------
+PDF_TRUNCATION_BYTES = 500
+#: "almost all of the packets are under 200 bytes"
+SMALL_PACKET_BOUND = 200
+#: "almost all of the incoming packets are smaller than 60 bytes"
+INBOUND_SIZE_BOUND = 60
+#: exchange-point contrast: "mean packet size observed was above 400 bytes"
+EXCHANGE_POINT_MEAN_BYTES = 400
+
+# ---------------------------------------------------------------------------
+# Table IV — NAT experiment (one 30-minute map)
+# ---------------------------------------------------------------------------
+NAT_EXPERIMENT_DURATION_S = 1800.0
+NAT_SERVER_TO_NAT = 677_278
+NAT_TO_CLIENTS = 674_157
+NAT_OUTGOING_LOSS = 0.00046
+NAT_CLIENTS_TO_NAT = 853_035
+NAT_TO_SERVER = 841_960
+NAT_INCOMING_LOSS = 0.013
+#: listed forwarding capacity of the SMC Barricade
+NAT_DEVICE_PPS_LOW = 1000.0
+NAT_DEVICE_PPS_HIGH = 1500.0
+#: "the worst tolerable loss rate for this game is not far from 1-2%"
+TOLERABLE_LOSS_LOW = 0.01
+TOLERABLE_LOSS_HIGH = 0.02
+
+# ---------------------------------------------------------------------------
+# §IV-A router assumptions
+# ---------------------------------------------------------------------------
+#: "average sizes in between 1000 and 2000 bits (125-250 bytes)"
+ROUTER_DESIGN_PACKET_BYTES_LOW = 125
+ROUTER_DESIGN_PACKET_BYTES_HIGH = 250

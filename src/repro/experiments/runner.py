@@ -1,0 +1,128 @@
+"""Experiment registry and command-line runner.
+
+``repro-experiments`` (or ``python -m repro.experiments.runner``) runs
+any subset of the table/figure reproductions and prints the
+paper-vs-measured reports — the textual equivalent of regenerating every
+table and figure in the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    aggregation,
+    buffering,
+    caching,
+    closedloop,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    linearity,
+    sourcemodel,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.experiments.base import ExperimentOutput
+
+#: All experiments in paper order.
+REGISTRY: Dict[str, Callable[[int], ExperimentOutput]] = {
+    module.EXPERIMENT_ID: module.run
+    for module in (
+        table1,
+        table2,
+        table3,
+        fig1,
+        fig2,
+        fig3,
+        fig4,
+        fig5,
+        fig6,
+        fig7,
+        fig8,
+        fig9,
+        fig10,
+        fig11,
+        fig12,
+        fig13,
+        table4,
+        fig14,
+        fig15,
+        caching,
+        linearity,
+        buffering,
+        aggregation,
+        closedloop,
+        sourcemodel,
+    )
+}
+
+
+def run_experiments(ids: List[str], seed: int = 0) -> List[ExperimentOutput]:
+    """Run the named experiments and return their outputs."""
+    outputs = []
+    for experiment_id in ids:
+        if experiment_id not in REGISTRY:
+            raise KeyError(
+                f"unknown experiment {experiment_id!r}; "
+                f"known: {', '.join(sorted(REGISTRY))}"
+            )
+        outputs.append(REGISTRY[experiment_id](seed))
+    return outputs
+
+
+def main(argv: List[str] = None) -> int:
+    """CLI entry point: run experiments and print reports."""
+    parser = argparse.ArgumentParser(
+        description="Reproduce the paper's tables and figures."
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=[],
+        help="experiment ids (default: all); e.g. table1 fig5 table4",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in REGISTRY:
+            print(experiment_id)
+        return 0
+
+    ids = args.experiments or list(REGISTRY)
+    outputs = run_experiments(ids, seed=args.seed)
+    failures = 0
+    for output in outputs:
+        print(output.render())
+        print()
+        if not output.passed:
+            failures += 1
+    print(
+        f"{len(outputs) - failures}/{len(outputs)} experiments reproduced "
+        "within tolerance"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Network path models for the closed-loop simulation.
+
+The open-loop generators synthesise the server-side view directly; the
+closed-loop simulation (:mod:`repro.gameserver.server` /
+:mod:`repro.gameserver.client`) instead *transmits* packets across path
+models with latency, jitter and loss.  Paths are asymmetric-capable and
+keyed by the client's last-mile class: the paper's modem players sit
+behind ~100 ms paths, the "l337" players behind fast broadband.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PathProfile:
+    """One direction of a network path.
+
+    ``latency`` is the propagation+queueing base (seconds), ``jitter``
+    the standard deviation of a truncated-normal perturbation, and
+    ``loss_rate`` an iid drop probability (the closed-loop device model
+    adds congestive loss on top of this ambient loss).
+    """
+
+    latency: float
+    jitter: float = 0.0
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0: {self.latency!r}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0: {self.jitter!r}")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must lie in [0, 1): {self.loss_rate!r}")
+
+    def sample_delay(self, rng: np.random.Generator) -> float:
+        """One delivery delay (never below half the base latency)."""
+        if self.jitter == 0.0:
+            return self.latency
+        delay = rng.normal(self.latency, self.jitter)
+        return float(max(self.latency * 0.5, delay))
+
+    def sample_loss(self, rng: np.random.Generator) -> bool:
+        """Whether a packet is lost to ambient path loss."""
+        return bool(self.loss_rate > 0.0 and rng.uniform() < self.loss_rate)
+
+
+@dataclass(frozen=True)
+class ClientPath:
+    """A bidirectional client<->server path."""
+
+    uplink: PathProfile  # client -> server
+    downlink: PathProfile  # server -> client
+
+    @classmethod
+    def symmetric(cls, latency: float, jitter: float = 0.0,
+                  loss_rate: float = 0.0) -> "ClientPath":
+        """A path with identical characteristics both ways."""
+        profile = PathProfile(latency=latency, jitter=jitter, loss_rate=loss_rate)
+        return cls(uplink=profile, downlink=profile)
+
+
+#: Paths by last-mile class, matching the ``ServerProfile`` link classes.
+#: Modem latencies follow the paper's 56k reality (~100+ ms each way).
+DEFAULT_PATHS: Dict[str, ClientPath] = {
+    "modem": ClientPath.symmetric(latency=0.110, jitter=0.020, loss_rate=0.001),
+    "broadband": ClientPath.symmetric(latency=0.035, jitter=0.008, loss_rate=0.0005),
+    "l337": ClientPath.symmetric(latency=0.015, jitter=0.003, loss_rate=0.0002),
+}
+
+
+def path_for_class(link_class: str) -> ClientPath:
+    """The path model for a last-mile class (default: the modem path)."""
+    return DEFAULT_PATHS.get(link_class, DEFAULT_PATHS["modem"])

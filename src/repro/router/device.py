@@ -1,0 +1,271 @@
+"""Queueing model of a pps-bound store-and-forward device.
+
+Models the SMC Barricade-class NAT box of Section IV: a single route-
+lookup/NAT engine with a listed capacity of 1000–1500 pps, fed by two
+finite queues (LAN side: the game server; WAN side: the Internet).  The
+model reproduces the paper's three observed phenomena:
+
+1. **Inbound >> outbound loss** (Table IV: 1.3 % vs 0.046 %).  The
+   server's tick bursts monopolise the engine for ~15–20 ms; inbound
+   packets arriving during a drain accumulate in the small WAN-side
+   queue.  Episodic WAN-path stalls (NAT table maintenance) concentrate
+   further inbound loss, producing the drop-outs of Fig 14(b).
+2. **Correlated freezes** (Fig 15).  Bursts of inbound loss starve the
+   game logic; the server's outgoing flood pauses shortly afterwards.
+   The engine exposes freeze windows to the caller, which suppresses
+   server output inside them — so outgoing dips mirror inbound loss
+   without outgoing drops, exactly the paper's observation.
+3. **Low but non-zero outbound loss.**  The larger LAN-side queue
+   absorbs normal bursts; only coincidences of consecutive-tick bursts
+   and service-time jitter overflow it.
+
+The engine is strictly work-conserving FIFO by arrival (the lookup unit
+processes packets in arrival order regardless of side), with per-side
+buffer accounting — the architecture of low-end devices of the era.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.random import RandomStreams
+from repro.trace.packet import Direction
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Parameters of the store-and-forward device.
+
+    Defaults are calibrated to reproduce Table IV against the default
+    game profile (see EXPERIMENTS.md, experiment T4).
+    """
+
+    #: Sustained route-lookup capacity, packets/second (SMC lists 1000–1500).
+    lookup_rate: float = 1250.0
+    #: Coefficient of variation of per-packet service time.
+    service_cv: float = 0.35
+    #: WAN-side (inbound) queue, packets.
+    wan_queue: int = 9
+    #: LAN-side (outbound) queue, packets.
+    lan_queue: int = 19
+    #: Mean seconds between WAN-path maintenance stalls (exponential).
+    stall_interval_mean: float = 21.0
+    #: Mean stall length, seconds (exponential, capped at 4x mean).
+    stall_duration_mean: float = 0.22
+    #: Inbound drops within `freeze_window` seconds that trigger a game freeze.
+    freeze_threshold: int = 12
+    freeze_window: float = 0.5
+    #: Seconds the server's output pauses once starved.
+    freeze_duration: float = 0.45
+    #: Reaction delay between the loss burst and the output pause.
+    freeze_lag: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.lookup_rate <= 0:
+            raise ValueError(f"lookup_rate must be positive: {self.lookup_rate!r}")
+        if self.wan_queue < 1 or self.lan_queue < 1:
+            raise ValueError("queue capacities must be >= 1")
+        if self.service_cv < 0:
+            raise ValueError(f"service_cv must be >= 0: {self.service_cv!r}")
+        if self.freeze_threshold < 1:
+            raise ValueError("freeze_threshold must be >= 1")
+
+
+@dataclass
+class ForwardingResult:
+    """Outcome of pushing one trace through the device.
+
+    ``fates`` has one entry per input packet: 1 forwarded, 0 dropped,
+    -1 suppressed (never sent — the server was frozen).  ``departures``
+    holds the device egress timestamp for forwarded packets and NaN
+    otherwise.
+    """
+
+    fates: np.ndarray
+    departures: np.ndarray
+    stall_windows: List[Tuple[float, float]]
+    freeze_windows: List[Tuple[float, float]]
+    directions: np.ndarray
+    timestamps: np.ndarray
+
+    def _counts(self, direction: Direction) -> Tuple[int, int, int]:
+        mask = self.directions == np.int8(direction)
+        offered = int((self.fates[mask] >= 0).sum())
+        forwarded = int((self.fates[mask] == 1).sum())
+        dropped = int((self.fates[mask] == 0).sum())
+        return offered, forwarded, dropped
+
+    @property
+    def inbound_offered(self) -> int:
+        """Packets from clients to the NAT (Table IV row 'Clients to NAT')."""
+        return self._counts(Direction.IN)[0]
+
+    @property
+    def inbound_forwarded(self) -> int:
+        """Packets from the NAT to the server ('NAT to Server')."""
+        return self._counts(Direction.IN)[1]
+
+    @property
+    def outbound_offered(self) -> int:
+        """Packets from the server to the NAT ('Server to NAT'), after freezes."""
+        return self._counts(Direction.OUT)[0]
+
+    @property
+    def outbound_forwarded(self) -> int:
+        """Packets from the NAT to clients ('NAT to Clients')."""
+        return self._counts(Direction.OUT)[1]
+
+    @property
+    def inbound_loss_rate(self) -> float:
+        """Fraction of offered inbound packets dropped."""
+        offered, _, dropped = self._counts(Direction.IN)
+        return dropped / offered if offered else 0.0
+
+    @property
+    def outbound_loss_rate(self) -> float:
+        """Fraction of offered outbound packets dropped."""
+        offered, _, dropped = self._counts(Direction.OUT)
+        return dropped / offered if offered else 0.0
+
+    @property
+    def suppressed_count(self) -> int:
+        """Outbound packets never emitted because the game was frozen."""
+        return int((self.fates == -1).sum())
+
+    def forwarded_mask(self) -> np.ndarray:
+        """Boolean mask of forwarded packets."""
+        return self.fates == 1
+
+    def delays(self) -> np.ndarray:
+        """Queueing+service delay of each forwarded packet (seconds)."""
+        mask = self.forwarded_mask()
+        return self.departures[mask] - self.timestamps[mask]
+
+
+class ForwardingEngine:
+    """Single-lookup-engine FIFO forwarding with per-side finite buffers."""
+
+    def __init__(self, profile: DeviceProfile, seed: int = 0) -> None:
+        self.profile = profile
+        self.streams = RandomStreams(seed)
+
+    # ------------------------------------------------------------------
+    def _draw_stalls(self, horizon: float, start: float) -> List[Tuple[float, float]]:
+        """Pre-draw the WAN-path maintenance stall windows."""
+        profile = self.profile
+        rng = self.streams.get("stalls")
+        windows: List[Tuple[float, float]] = []
+        t = start
+        while True:
+            t += float(rng.exponential(profile.stall_interval_mean))
+            if t >= horizon:
+                return windows
+            duration = min(
+                float(rng.exponential(profile.stall_duration_mean)),
+                4.0 * profile.stall_duration_mean,
+            )
+            windows.append((t, t + duration))
+
+    def process(self, trace: Trace) -> ForwardingResult:
+        """Push every packet of ``trace`` through the device.
+
+        Packets must be time-sorted (Trace guarantees it).  Runs a single
+        O(n) pass; service times are lognormal-jittered around
+        ``1/lookup_rate``.
+        """
+        profile = self.profile
+        n = len(trace)
+        timestamps = trace.timestamps
+        directions = trace.directions
+        fates = np.ones(n, dtype=np.int8)
+        departures = np.full(n, np.nan)
+        if n == 0:
+            return ForwardingResult(
+                fates, departures, [], [], directions.copy(), timestamps.copy()
+            )
+
+        rng = self.streams.get("service")
+        mean_service = 1.0 / profile.lookup_rate
+        if profile.service_cv > 0:
+            sigma = np.sqrt(np.log(1.0 + profile.service_cv**2))
+            mu = np.log(mean_service) - 0.5 * sigma**2
+            service_times = rng.lognormal(mu, sigma, size=n)
+        else:
+            service_times = np.full(n, mean_service)
+
+        stalls = self._draw_stalls(float(timestamps[-1]), float(timestamps[0]))
+        stall_index = 0
+        freeze_windows: List[Tuple[float, float]] = []
+        freeze_until = -1.0
+        recent_in_drops: List[float] = []
+
+        engine_free = float(timestamps[0])
+        # per-side queues: service completion times of packets waiting or in
+        # service; packets whose completion <= now have left the buffer
+        wan_backlog: List[float] = []
+        lan_backlog: List[float] = []
+        in_dir = int(Direction.IN)
+
+        for i in range(n):
+            now = float(timestamps[i])
+            is_in = directions[i] == in_dir
+
+            # expire finished packets from both buffers
+            while wan_backlog and wan_backlog[0] <= now:
+                wan_backlog.pop(0)
+            while lan_backlog and lan_backlog[0] <= now:
+                lan_backlog.pop(0)
+
+            # server frozen: outbound packet was never generated
+            if not is_in and now < freeze_until:
+                fates[i] = -1
+                continue
+
+            if is_in:
+                # advance past finished stall windows
+                while stall_index < len(stalls) and stalls[stall_index][1] <= now:
+                    stall_index += 1
+                in_stall = (
+                    stall_index < len(stalls) and stalls[stall_index][0] <= now
+                )
+                if in_stall or len(wan_backlog) >= profile.wan_queue:
+                    fates[i] = 0
+                    recent_in_drops.append(now)
+                    cutoff = now - profile.freeze_window
+                    while recent_in_drops and recent_in_drops[0] < cutoff:
+                        recent_in_drops.pop(0)
+                    if (
+                        len(recent_in_drops) >= profile.freeze_threshold
+                        and now + profile.freeze_lag >= freeze_until
+                    ):
+                        freeze_start = now + profile.freeze_lag
+                        freeze_until = freeze_start + profile.freeze_duration
+                        freeze_windows.append((freeze_start, freeze_until))
+                        recent_in_drops.clear()
+                    continue
+            else:
+                if len(lan_backlog) >= profile.lan_queue:
+                    fates[i] = 0
+                    continue
+
+            start_service = max(now, engine_free)
+            finish = start_service + float(service_times[i])
+            engine_free = finish
+            departures[i] = finish
+            if is_in:
+                wan_backlog.append(finish)
+            else:
+                lan_backlog.append(finish)
+
+        return ForwardingResult(
+            fates=fates,
+            departures=departures,
+            stall_windows=stalls,
+            freeze_windows=freeze_windows,
+            directions=directions.copy(),
+            timestamps=timestamps.copy(),
+        )

@@ -1,0 +1,23 @@
+"""Discrete-event simulation substrate.
+
+Everything in :mod:`repro` that has to move simulated time forward is built
+on this package: a binary-heap event scheduler (:class:`~repro.sim.engine.EventScheduler`),
+cancellable event handles (:class:`~repro.sim.events.Event`), and reproducible
+named random-number streams (:class:`~repro.sim.random.RandomStreams`).
+
+The engine is deliberately minimal — the paper's systems (game server, NAT
+device, route cache) are all "callback at time t" processes, so a simple
+well-tested scheduler beats a process-interleaving framework.
+"""
+
+from repro.sim.engine import EventScheduler, SimulationError
+from repro.sim.events import Event, EventState
+from repro.sim.random import RandomStreams
+
+__all__ = [
+    "Event",
+    "EventScheduler",
+    "EventState",
+    "RandomStreams",
+    "SimulationError",
+]

@@ -1,0 +1,81 @@
+"""Statistics toolkit: binning, histograms, regression, Hurst estimation.
+
+All estimators are implemented from first principles (no scipy
+dependence) so the methodology matches the paper's description exactly —
+in particular the aggregated-variance Hurst estimator and its
+variance-time plot, which drive Fig 5.
+"""
+
+from repro.stats.autocorr import (
+    autocorrelation,
+    burstiness_index,
+    dominant_period,
+    peak_to_mean_ratio,
+)
+from repro.stats.binning import BinnedSeries, bin_events
+from repro.stats.descriptive import (
+    SeriesSummary,
+    relative_error,
+    summarize,
+    weighted_mean,
+    within_factor,
+)
+from repro.stats.histogram import EmpiricalCDF, Histogram, histogram
+from repro.stats.hurst import (
+    RegimeFit,
+    VarianceTimePlot,
+    VarianceTimePoint,
+    default_block_sizes,
+    hurst_aggregated_variance,
+    hurst_rescaled_range,
+    rescaled_range,
+    segment_regimes,
+    variance_time_plot,
+)
+from repro.stats.fitting import (
+    FittedDistribution,
+    fit_best,
+    fit_exponential,
+    fit_lognormal,
+    fit_normal,
+    ks_statistic,
+)
+from repro.stats.regression import LineFit, fit_line
+from repro.stats.spectral import Periodogram, detect_tick_frequency, periodogram
+
+__all__ = [
+    "BinnedSeries",
+    "EmpiricalCDF",
+    "FittedDistribution",
+    "Histogram",
+    "LineFit",
+    "Periodogram",
+    "RegimeFit",
+    "SeriesSummary",
+    "VarianceTimePlot",
+    "VarianceTimePoint",
+    "autocorrelation",
+    "bin_events",
+    "burstiness_index",
+    "default_block_sizes",
+    "detect_tick_frequency",
+    "dominant_period",
+    "fit_best",
+    "fit_exponential",
+    "fit_line",
+    "fit_lognormal",
+    "fit_normal",
+    "ks_statistic",
+    "periodogram",
+    "histogram",
+    "hurst_aggregated_variance",
+    "hurst_rescaled_range",
+    "peak_to_mean_ratio",
+    "relative_error",
+    "rescaled_range",
+    "segment_regimes",
+    "summarize",
+    "variance_time_plot",
+    "weighted_mean",
+    "within_factor",
+]

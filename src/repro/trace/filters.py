@@ -1,0 +1,142 @@
+"""Composable trace filters.
+
+Small declarative predicates over :class:`~repro.trace.trace.Trace`
+columns that combine with ``&``, ``|`` and ``~`` and apply in one
+vectorised pass — the idiom for carving analysis windows out of large
+captures (e.g. "inbound game-port packets under 60 bytes between the
+second and third map change").
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.net.addresses import IPv4Address
+from repro.trace.packet import Direction
+from repro.trace.trace import Trace
+
+
+class TraceFilter:
+    """A boolean predicate over trace rows.
+
+    Wraps a function ``Trace -> bool ndarray``; instances compose with
+    ``&`` (and), ``|`` (or) and ``~`` (not), and apply with
+    :meth:`apply` (returning a sub-trace) or :meth:`mask`.
+    """
+
+    def __init__(self, fn: Callable[[Trace], np.ndarray], description: str) -> None:
+        self._fn = fn
+        self.description = description
+
+    def mask(self, trace: Trace) -> np.ndarray:
+        """Evaluate to a boolean array over the trace's rows."""
+        result = np.asarray(self._fn(trace))
+        if result.dtype != bool or result.shape != trace.timestamps.shape:
+            raise ValueError(
+                f"filter {self.description!r} produced an invalid mask"
+            )
+        return result
+
+    def apply(self, trace: Trace) -> Trace:
+        """Return the sub-trace of rows matching the filter."""
+        return trace.select(self.mask(trace))
+
+    def count(self, trace: Trace) -> int:
+        """Number of matching rows (without materialising a sub-trace)."""
+        return int(self.mask(trace).sum())
+
+    def __and__(self, other: "TraceFilter") -> "TraceFilter":
+        return TraceFilter(
+            lambda trace: self.mask(trace) & other.mask(trace),
+            f"({self.description} and {other.description})",
+        )
+
+    def __or__(self, other: "TraceFilter") -> "TraceFilter":
+        return TraceFilter(
+            lambda trace: self.mask(trace) | other.mask(trace),
+            f"({self.description} or {other.description})",
+        )
+
+    def __invert__(self) -> "TraceFilter":
+        return TraceFilter(
+            lambda trace: ~self.mask(trace), f"(not {self.description})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TraceFilter {self.description}>"
+
+
+def by_direction(direction: Direction) -> TraceFilter:
+    """Packets travelling in ``direction``."""
+    return TraceFilter(
+        lambda trace: trace.directions == np.int8(direction),
+        f"direction={direction.name}",
+    )
+
+
+def inbound() -> TraceFilter:
+    """Client-to-server packets."""
+    return by_direction(Direction.IN)
+
+
+def outbound() -> TraceFilter:
+    """Server-to-client packets."""
+    return by_direction(Direction.OUT)
+
+
+def by_time(start: float, end: float) -> TraceFilter:
+    """Packets with ``start <= timestamp < end``."""
+    if end < start:
+        raise ValueError(f"end {end!r} before start {start!r}")
+    return TraceFilter(
+        lambda trace: (trace.timestamps >= start) & (trace.timestamps < end),
+        f"time=[{start}, {end})",
+    )
+
+
+def by_payload_size(minimum: int = 0, maximum: int = 2**32 - 1) -> TraceFilter:
+    """Packets whose payload size lies in ``[minimum, maximum]``."""
+    if minimum > maximum:
+        raise ValueError(f"empty size window [{minimum}, {maximum}]")
+    return TraceFilter(
+        lambda trace: (trace.payload_sizes >= minimum)
+        & (trace.payload_sizes <= maximum),
+        f"size=[{minimum}, {maximum}]",
+    )
+
+
+def small_packets(bound: int = 200) -> TraceFilter:
+    """The paper's "tiny packets": payloads at or under ``bound`` bytes."""
+    return by_payload_size(0, bound)
+
+
+def by_client(address: IPv4Address) -> TraceFilter:
+    """Packets to or from one client address."""
+    value = np.uint32(address.value)
+    return TraceFilter(
+        lambda trace: (trace.src_addrs == value) | (trace.dst_addrs == value),
+        f"client={address}",
+    )
+
+
+def by_port(port: int) -> TraceFilter:
+    """Packets with ``port`` as source or destination."""
+    if not 0 <= port <= 0xFFFF:
+        raise ValueError(f"port out of range: {port!r}")
+    value = np.uint16(port)
+    return TraceFilter(
+        lambda trace: (trace.src_ports == value) | (trace.dst_ports == value),
+        f"port={port}",
+    )
+
+
+def by_protocol(protocol: int) -> TraceFilter:
+    """Packets of one IP protocol number."""
+    if not 0 <= protocol <= 255:
+        raise ValueError(f"protocol out of range: {protocol!r}")
+    return TraceFilter(
+        lambda trace: trace.protocols == np.uint8(protocol),
+        f"protocol={protocol}",
+    )

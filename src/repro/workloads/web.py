@@ -1,0 +1,97 @@
+"""Synthetic web/TCP background traffic for the route-cache ablation.
+
+§IV-A contrasts game traffic with "bulk data transfers using TCP" whose
+data segments approach an order of magnitude larger than game packets
+and whose destinations spread across a heavy-tailed (Zipf) population.
+The cache experiment (X1) needs exactly those two properties; this
+generator provides them without simulating TCP dynamics (the route cache
+only sees destination keys and packet sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WebTrafficModel:
+    """Parameters of the background web packet stream."""
+
+    #: Distinct destination prefixes in the population.
+    destinations: int = 5000
+    #: Zipf exponent of destination popularity.
+    zipf_s: float = 1.1
+    #: Fraction of packets that are small ACK/control segments.
+    ack_fraction: float = 0.4
+    ack_size: int = 40
+    #: Full data segments (Ethernet MTU minus headers).
+    data_size_mean: float = 1200.0
+    data_size_std: float = 300.0
+    data_size_max: int = 1460
+
+    def __post_init__(self) -> None:
+        if self.destinations < 1:
+            raise ValueError(f"destinations must be >= 1: {self.destinations!r}")
+        if self.zipf_s <= 1.0:
+            raise ValueError(f"zipf_s must exceed 1.0: {self.zipf_s!r}")
+        if not 0.0 <= self.ack_fraction <= 1.0:
+            raise ValueError("ack_fraction must lie in [0, 1]")
+
+
+def generate_web_packets(
+    model: WebTrafficModel,
+    count: int,
+    rng: np.random.Generator,
+    key_offset: int = 1_000_000,
+):
+    """Generate ``count`` web packets as (destination keys, sizes).
+
+    Destination keys are offset so they never collide with game-client
+    keys when streams are merged.  Popularity is Zipf-distributed with
+    rejection of ranks beyond the population (numpy's unbounded Zipf
+    sampler re-drawn into range).
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0: {count!r}")
+    ranks = rng.zipf(model.zipf_s, size=count)
+    out_of_range = ranks > model.destinations
+    while np.any(out_of_range):
+        ranks[out_of_range] = rng.zipf(model.zipf_s, size=int(out_of_range.sum()))
+        out_of_range = ranks > model.destinations
+    destinations = key_offset + ranks.astype(np.int64)
+
+    is_ack = rng.uniform(size=count) < model.ack_fraction
+    data_sizes = np.clip(
+        rng.normal(model.data_size_mean, model.data_size_std, size=count),
+        model.ack_size,
+        model.data_size_max,
+    )
+    sizes = np.where(is_ack, float(model.ack_size), data_sizes).astype(np.int64)
+    return destinations, sizes
+
+
+def interleave_streams(
+    rng: np.random.Generator,
+    game_keys: np.ndarray,
+    game_sizes: np.ndarray,
+    web_keys: np.ndarray,
+    web_sizes: np.ndarray,
+):
+    """Randomly interleave game and web packet streams.
+
+    Returns (keys, sizes, labels) with labels 'game'/'web' — the input
+    the route-cache simulator consumes.  A random interleave models two
+    independent aggregates sharing a router uplink.
+    """
+    if game_keys.shape != game_sizes.shape or web_keys.shape != web_sizes.shape:
+        raise ValueError("key/size arrays must pair up")
+    total = game_keys.size + web_keys.size
+    keys = np.concatenate([game_keys, web_keys])
+    sizes = np.concatenate([game_sizes, web_sizes])
+    labels = np.concatenate(
+        [np.repeat("game", game_keys.size), np.repeat("web", web_keys.size)]
+    )
+    order = rng.permutation(total)
+    return keys[order], sizes[order], labels[order]

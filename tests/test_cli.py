@@ -1,0 +1,53 @@
+"""Tests for the repro-simulate CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.net.addresses import IPv4Address
+from repro.trace.format import load_trace
+from repro.trace.pcap import read_pcap
+
+
+class TestSimulateCli:
+    def test_pcap_output(self, tmp_path, capsys):
+        out = str(tmp_path / "window.pcap")
+        code = main(["--start", "0", "--end", "60", "--slots", "6",
+                     "--format", "pcap", "-o", out])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        trace = read_pcap(out, server_address=IPv4Address("128.223.40.15"))
+        assert len(trace) > 100
+
+    def test_npz_output_roundtrips(self, tmp_path, capsys):
+        out = str(tmp_path / "window.npz")
+        code = main(["--end", "60", "--slots", "6", "--format", "npz",
+                     "-o", out])
+        assert code == 0
+        trace = load_trace(out)
+        assert len(trace) > 100
+        assert trace.server_address == IPv4Address("128.223.40.15")
+
+    def test_log_written(self, tmp_path):
+        out = str(tmp_path / "w.npz")
+        log = str(tmp_path / "server.log")
+        code = main(["--end", "60", "--slots", "4", "--format", "npz",
+                     "-o", out, "--log", log])
+        assert code == 0
+        from repro.gameserver.gamelog import parse_log
+
+        with open(log) as handle:
+            events = parse_log(handle)
+        assert any(e.event == "map_start" for e in events)
+
+    def test_bad_window_rejected(self, tmp_path, capsys):
+        out = str(tmp_path / "x.pcap")
+        assert main(["--start", "60", "--end", "30", "-o", out]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_slots_rejected(self, tmp_path, capsys):
+        out = str(tmp_path / "x.pcap")
+        assert main(["--end", "30", "--slots", "0", "-o", out]) == 2
+
+    def test_end_beyond_week_rejected(self, tmp_path, capsys):
+        out = str(tmp_path / "x.pcap")
+        assert main(["--end", "99999999", "-o", out]) == 2

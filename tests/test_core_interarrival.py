@@ -1,0 +1,69 @@
+"""Unit tests for interarrival analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.interarrival import InterarrivalAnalysis
+from repro.net.addresses import IPv4Address
+from repro.trace.packet import Direction
+from repro.trace.trace import Trace, TraceBuilder
+
+
+@pytest.fixture(scope="module")
+def analysis(quick_trace, quick_profile):
+    window = quick_trace.time_slice(10.0, 110.0)
+    return InterarrivalAnalysis.from_trace(
+        window, tick_interval=quick_profile.tick_interval
+    )
+
+
+class TestStructure:
+    def test_outbound_tick_quantised(self, analysis):
+        assert analysis.tick_quantisation > 0.6
+
+    def test_client_intervals_near_clamp(self, analysis, quick_profile):
+        assert analysis.flow_count > 0
+        nominal = quick_profile.client_update_interval
+        assert analysis.modal_client_interval() == pytest.approx(nominal, rel=0.3)
+        assert analysis.client_intervals_clamped(nominal=nominal) > 0.5
+
+    def test_aggregate_summaries_populated(self, analysis):
+        assert analysis.aggregate_in.count > 100
+        assert analysis.aggregate_out.count > 100
+        assert analysis.aggregate_in.mean > 0
+
+    def test_classifier_accepts_game_traffic(self, analysis):
+        assert analysis.looks_like_game_traffic()
+
+    def test_classifier_rejects_poisson_traffic(self):
+        rng = np.random.default_rng(3)
+        server = IPv4Address("10.0.0.2")
+        builder = TraceBuilder(server_address=server)
+        t_in = np.cumsum(rng.exponential(1 / 300.0, 20000))
+        t_out = np.cumsum(rng.exponential(1 / 200.0, 12000))
+        for t in t_in:
+            builder.add(float(t), Direction.IN, 77, server.value, 5555, 80, 500)
+        for t in t_out:
+            builder.add(float(t), Direction.OUT, server.value, 77, 80, 5555, 1200)
+        analysis = InterarrivalAnalysis.from_trace(builder.build())
+        assert not analysis.looks_like_game_traffic()
+
+
+class TestValidation:
+    def test_empty_directions_rejected(self, quick_trace):
+        with pytest.raises(ValueError):
+            InterarrivalAnalysis.from_trace(quick_trace.inbound())
+
+    def test_bad_tick_rejected(self, quick_trace):
+        with pytest.raises(ValueError):
+            InterarrivalAnalysis.from_trace(quick_trace, tick_interval=0.0)
+
+    def test_no_qualifying_flows(self, quick_trace):
+        window = quick_trace.time_slice(10.0, 110.0)
+        analysis = InterarrivalAnalysis.from_trace(
+            window, min_flow_packets=10**9
+        )
+        assert analysis.flow_count == 0
+        with pytest.raises(ValueError):
+            analysis.modal_client_interval()
+        assert not analysis.looks_like_game_traffic()

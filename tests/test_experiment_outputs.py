@@ -1,0 +1,59 @@
+"""Contract tests on experiment outputs.
+
+Each experiment module must expose a stable interface (id, title, run)
+and produce well-formed outputs.  The bench suite validates the numbers;
+these tests validate the contract cheaply, and run the two cheapest
+experiments end-to-end as smoke coverage of the registry plumbing.
+"""
+
+import pytest
+
+from repro.experiments.base import ExperimentOutput
+from repro.experiments.runner import REGISTRY, run_experiments
+
+
+class TestModuleContract:
+    def test_ids_match_registry_keys(self):
+        import importlib
+
+        for experiment_id in REGISTRY:
+            module = importlib.import_module(f"repro.experiments.{experiment_id}")
+            assert module.EXPERIMENT_ID == experiment_id
+            assert isinstance(module.TITLE, str) and module.TITLE
+            assert callable(module.run)
+
+    def test_registry_count(self):
+        # 4 tables + 15 figures + 6 extension studies
+        assert len(REGISTRY) == 25
+
+
+class TestCheapExperimentsEndToEnd:
+    @pytest.fixture(scope="class")
+    def outputs(self):
+        # table1 and fig3 share the cached week population and avoid any
+        # packet-level generation: cheap enough for the unit suite
+        return run_experiments(["table1", "fig3"], seed=0)
+
+    def test_outputs_are_wellformed(self, outputs):
+        for output in outputs:
+            assert isinstance(output, ExperimentOutput)
+            assert output.rows
+            for row in output.rows:
+                assert row.name
+                assert row.tolerance_factor >= 1.0
+
+    def test_render_includes_every_row(self, outputs):
+        for output in outputs:
+            text = output.render()
+            assert output.experiment_id in text
+            for row in output.rows:
+                assert row.name in text
+
+    def test_cheap_experiments_pass(self, outputs):
+        for output in outputs:
+            failing = [r.name for r in output.rows if not r.ok]
+            assert output.passed, failing
+
+    def test_row_lookup(self, outputs):
+        table1 = outputs[0]
+        assert table1.row("maps played").paper == 339

@@ -1,0 +1,143 @@
+"""Unit tests for distribution fitting and the source-model pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.sourcemodels import (
+    fit_direction,
+    fit_source_model,
+    regenerate,
+    validate_model,
+)
+from repro.stats.fitting import (
+    fit_best,
+    fit_exponential,
+    fit_lognormal,
+    fit_normal,
+    ks_statistic,
+)
+from repro.trace.packet import Direction
+
+
+class TestFitting:
+    def test_normal_recovers_parameters(self, rng):
+        samples = rng.normal(100.0, 15.0, size=20_000)
+        fitted = fit_normal(samples)
+        assert fitted.params["mean"] == pytest.approx(100.0, abs=0.5)
+        assert fitted.params["std"] == pytest.approx(15.0, abs=0.5)
+        assert fitted.ks_statistic < 0.02
+
+    def test_lognormal_recovers_parameters(self, rng):
+        samples = rng.lognormal(2.0, 0.7, size=20_000)
+        fitted = fit_lognormal(samples)
+        assert fitted.params["mu"] == pytest.approx(2.0, abs=0.05)
+        assert fitted.params["sigma"] == pytest.approx(0.7, abs=0.05)
+
+    def test_exponential_recovers_scale(self, rng):
+        samples = rng.exponential(3.5, size=20_000)
+        fitted = fit_exponential(samples)
+        assert fitted.params["scale"] == pytest.approx(3.5, rel=0.03)
+
+    def test_fit_best_picks_right_family(self, rng):
+        assert fit_best(rng.normal(50.0, 3.0, 5000)).family == "normal"
+        assert fit_best(rng.exponential(2.0, 5000)).family == "exponential"
+        assert fit_best(rng.lognormal(1.0, 1.2, 5000)).family == "lognormal"
+
+    def test_fit_best_skips_invalid_support(self, rng):
+        samples = rng.normal(0.0, 1.0, 2000)  # includes negatives
+        fitted = fit_best(samples)
+        assert fitted.family == "normal"
+
+    def test_fitted_sampling_and_mean(self, rng):
+        fitted = fit_normal(rng.normal(80.0, 10.0, 10_000))
+        draws = np.asarray(fitted.sample(rng, size=20_000))
+        assert draws.mean() == pytest.approx(fitted.mean, rel=0.02)
+
+    def test_cdf_monotone(self, rng):
+        for fitted in (
+            fit_normal(rng.normal(0, 1, 1000)),
+            fit_exponential(rng.exponential(1.0, 1000)),
+            fit_lognormal(rng.lognormal(0, 1, 1000)),
+        ):
+            xs = np.linspace(-2, 10, 200)
+            values = fitted.cdf(xs)
+            assert np.all(np.diff(values) >= -1e-12)
+            assert values[-1] <= 1.0 + 1e-12
+
+    def test_ks_statistic_detects_mismatch(self, rng):
+        samples = rng.exponential(1.0, 5000)
+        good = fit_exponential(samples)
+        bad = fit_normal(samples)
+        assert good.ks_statistic < bad.ks_statistic
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            fit_normal(np.asarray([1.0]))
+        with pytest.raises(ValueError):
+            fit_lognormal(np.asarray([1.0, -1.0, 2.0]))
+        with pytest.raises(ValueError):
+            fit_exponential(np.asarray([-1.0, 1.0]))
+        with pytest.raises(ValueError):
+            ks_statistic(np.asarray([]), lambda x: x)
+        with pytest.raises(ValueError):
+            fit_best(rng.normal(0, 1, 100), families=("cauchy",))
+
+
+class TestSourceModels:
+    @pytest.fixture(scope="class")
+    def model(self, quick_trace):
+        window = quick_trace.time_slice(10.0, 110.0)
+        return fit_source_model(window), window
+
+    def test_outbound_periodic_inbound_not(self, model, quick_profile):
+        fitted, _ = model
+        assert fitted.outbound.is_periodic
+        assert not fitted.inbound.is_periodic
+        assert fitted.outbound.tick_period == pytest.approx(
+            quick_profile.tick_interval, rel=0.15
+        )
+
+    def test_payload_means_recovered(self, model, quick_profile):
+        fitted, window = model
+        assert fitted.inbound.payload.mean == pytest.approx(
+            float(window.inbound().payload_sizes.mean()), rel=0.02
+        )
+        assert fitted.outbound.payload.mean == pytest.approx(
+            float(window.outbound().payload_sizes.mean()), rel=0.02
+        )
+
+    def test_describe_mentions_structure(self, model):
+        fitted, _ = model
+        text = fitted.describe()
+        assert "tick" in text
+        assert "pps" in text
+
+    def test_regeneration_rates(self, model):
+        fitted, _ = model
+        synthetic = regenerate(fitted, duration=60.0, seed=5)
+        in_rate = len(synthetic.inbound()) / 60.0
+        out_rate = len(synthetic.outbound()) / 60.0
+        assert in_rate == pytest.approx(fitted.inbound.rate, rel=0.15)
+        assert out_rate == pytest.approx(fitted.outbound.rate, rel=0.15)
+
+    def test_closure(self, model):
+        fitted, window = model
+        validation = validate_model(window, fitted, duration=60.0, seed=6)
+        assert validation.passes(tolerance=0.2)
+
+    def test_regeneration_reproducible(self, model):
+        fitted, _ = model
+        a = regenerate(fitted, 30.0, seed=7)
+        b = regenerate(fitted, 30.0, seed=7)
+        assert len(a) == len(b)
+        assert np.allclose(a.timestamps, b.timestamps)
+
+    def test_too_small_trace_rejected(self, quick_trace):
+        tiny = quick_trace.time_slice(10.0, 10.2)
+        with pytest.raises(ValueError):
+            fit_direction(tiny, Direction.IN)
+
+    def test_regenerate_validation(self, model):
+        fitted, _ = model
+        with pytest.raises(ValueError):
+            regenerate(fitted, duration=0.0)

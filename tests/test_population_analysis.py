@@ -1,0 +1,62 @@
+"""Unit tests for the population behaviour analysis."""
+
+import pytest
+
+from repro.core.population_analysis import PopulationAnalysis
+from repro.gameserver.config import quick_test_profile
+from repro.gameserver.population import PopulationResult, simulate_population
+
+
+@pytest.fixture(scope="module")
+def analysis(quick_population):
+    return PopulationAnalysis.from_population(quick_population)
+
+
+class TestPopulationAnalysis:
+    def test_durations_heavy_tailed(self, analysis):
+        # sessions are drawn lognormal, the fit must recover that
+        assert analysis.duration_is_heavy_tailed()
+
+    def test_session_means_consistent(self, analysis, quick_population):
+        assert analysis.mean_session_s == pytest.approx(
+            quick_population.mean_session_duration(), rel=0.01
+        )
+        assert analysis.median_session_s > 0
+
+    def test_occupancy_fields(self, analysis, quick_profile):
+        assert 0.0 < analysis.occupancy_mean <= quick_profile.max_players
+        assert 0.0 < analysis.occupancy_utilisation <= 1.0
+
+    def test_saturated_server(self, quick_population):
+        analysis = PopulationAnalysis.from_population(quick_population)
+        # the quick profile's attempt rate keeps the 8-slot server busy
+        assert analysis.population_is_saturated(threshold=0.5)
+
+    def test_describe(self, analysis):
+        text = analysis.describe()
+        assert "sessions" in text
+        assert "occupancy" in text
+
+    def test_short_horizon_diurnal_neutral(self, analysis):
+        # a 10-minute horizon cannot measure diurnal structure
+        assert analysis.diurnal_peak_to_trough == 1.0
+
+    def test_week_scale_diurnal_detected(self):
+        from repro.gameserver.config import olygamer_week
+
+        population = simulate_population(
+            olygamer_week().replace(duration=3 * 86400.0, outages=()), seed=2
+        )
+        analysis = PopulationAnalysis.from_population(
+            population, players_bin_s=300.0
+        )
+        assert analysis.diurnal_peak_to_trough > 1.2
+        assert analysis.arrival_burstiness > 1.0  # modulated, super-Poisson
+
+    def test_empty_population_rejected(self):
+        profile = quick_test_profile(duration=30.0).replace(attempt_rate=1e-9)
+        population = simulate_population(profile, seed=1)
+        if population.sessions:
+            pytest.skip("seed produced a session even at tiny rate")
+        with pytest.raises(ValueError):
+            PopulationAnalysis.from_population(population)

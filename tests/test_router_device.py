@@ -1,0 +1,160 @@
+"""Unit tests for the pps-bound forwarding engine."""
+
+import numpy as np
+import pytest
+
+from repro.net.addresses import IPv4Address
+from repro.router.device import DeviceProfile, ForwardingEngine
+from repro.trace.packet import Direction
+from repro.trace.trace import Trace, TraceBuilder
+
+SERVER = IPv4Address("10.0.0.2")
+CLIENT = IPv4Address("24.0.0.1")
+
+
+def make_stream(in_rate=100.0, out_burst=0, duration=10.0, seed=0):
+    """Poisson inbound plus optional per-50ms outbound bursts."""
+    rng = np.random.default_rng(seed)
+    builder = TraceBuilder(server_address=SERVER)
+    t = 0.0
+    while t < duration:
+        t += float(rng.exponential(1.0 / in_rate))
+        if t >= duration:
+            break
+        builder.add(t, Direction.IN, CLIENT.value, SERVER.value, 1000, 27015, 40)
+    if out_burst:
+        for tick in np.arange(0.05, duration, 0.05):
+            for j in range(out_burst):
+                builder.add(tick + j * 1e-4, Direction.OUT, SERVER.value,
+                            CLIENT.value, 27015, 1000, 130)
+    return builder.build()
+
+
+def quiet_profile(**overrides):
+    """A device profile with stalls and freezes disabled by default."""
+    params = dict(
+        stall_interval_mean=1e9,
+        freeze_threshold=10**6,
+        service_cv=0.0,
+    )
+    params.update(overrides)
+    return DeviceProfile(**params)
+
+
+class TestConservation:
+    def test_every_packet_accounted(self):
+        trace = make_stream(in_rate=200.0, out_burst=5)
+        result = ForwardingEngine(quiet_profile(), seed=1).process(trace)
+        fates = result.fates
+        assert fates.size == len(trace)
+        assert np.all(np.isin(fates, [-1, 0, 1]))
+        forwarded = int((fates == 1).sum())
+        dropped = int((fates == 0).sum())
+        suppressed = int((fates == -1).sum())
+        assert forwarded + dropped + suppressed == len(trace)
+
+    def test_no_loss_under_light_load(self):
+        trace = make_stream(in_rate=100.0, out_burst=3)
+        result = ForwardingEngine(quiet_profile(), seed=1).process(trace)
+        assert result.inbound_loss_rate == 0.0
+        assert result.outbound_loss_rate == 0.0
+
+    def test_departures_after_arrivals(self):
+        trace = make_stream(in_rate=300.0, out_burst=8)
+        result = ForwardingEngine(quiet_profile(), seed=1).process(trace)
+        mask = result.forwarded_mask()
+        assert np.all(result.departures[mask] >= result.timestamps[mask])
+
+    def test_fifo_departures_monotone(self):
+        trace = make_stream(in_rate=300.0, out_burst=8)
+        result = ForwardingEngine(quiet_profile(), seed=1).process(trace)
+        departures = result.departures[result.forwarded_mask()]
+        assert np.all(np.diff(departures) >= -1e-12)
+
+    def test_empty_trace(self):
+        result = ForwardingEngine(quiet_profile(), seed=1).process(
+            Trace.empty(server_address=SERVER)
+        )
+        assert result.fates.size == 0
+        assert result.inbound_loss_rate == 0.0
+
+
+class TestOverload:
+    def test_sustained_overload_drops(self):
+        # 2000 pps inbound against a 1250 pps engine must shed ~37%
+        trace = make_stream(in_rate=2000.0, duration=20.0)
+        result = ForwardingEngine(quiet_profile(), seed=2).process(trace)
+        assert result.inbound_loss_rate == pytest.approx(0.37, abs=0.12)
+
+    def test_forwarded_rate_capped_at_capacity(self):
+        trace = make_stream(in_rate=3000.0, duration=20.0)
+        profile = quiet_profile()
+        result = ForwardingEngine(profile, seed=2).process(trace)
+        duration = float(trace.timestamps[-1] - trace.timestamps[0])
+        forwarded_rate = result.inbound_forwarded / duration
+        assert forwarded_rate <= profile.lookup_rate * 1.05
+
+    def test_bigger_queue_less_loss(self):
+        trace = make_stream(in_rate=1400.0, duration=20.0)
+        small = ForwardingEngine(quiet_profile(wan_queue=2), seed=3).process(trace)
+        large = ForwardingEngine(quiet_profile(wan_queue=50), seed=3).process(trace)
+        assert large.inbound_loss_rate <= small.inbound_loss_rate
+
+    def test_outbound_burst_overflow(self):
+        # bursts of 30 against a LAN queue of 19 must drop part of each burst
+        trace = make_stream(in_rate=10.0, out_burst=30, duration=10.0)
+        result = ForwardingEngine(quiet_profile(), seed=4).process(trace)
+        assert result.outbound_loss_rate > 0.05
+
+
+class TestStallsAndFreezes:
+    def test_stalls_cause_inbound_loss(self):
+        trace = make_stream(in_rate=400.0, duration=30.0)
+        profile = quiet_profile(
+            stall_interval_mean=5.0, stall_duration_mean=0.3
+        )
+        result = ForwardingEngine(profile, seed=5).process(trace)
+        assert len(result.stall_windows) > 0
+        assert result.inbound_loss_rate > 0.0
+
+    def test_freeze_suppresses_outbound(self):
+        trace = make_stream(in_rate=400.0, out_burst=8, duration=30.0)
+        profile = quiet_profile(
+            stall_interval_mean=5.0,
+            stall_duration_mean=0.3,
+            freeze_threshold=5,
+        )
+        result = ForwardingEngine(profile, seed=6).process(trace)
+        assert len(result.freeze_windows) > 0
+        assert result.suppressed_count > 0
+
+    def test_suppressed_not_counted_as_offered(self):
+        trace = make_stream(in_rate=400.0, out_burst=8, duration=30.0)
+        profile = quiet_profile(
+            stall_interval_mean=5.0, stall_duration_mean=0.3, freeze_threshold=5
+        )
+        result = ForwardingEngine(profile, seed=6).process(trace)
+        out_total = int((result.directions == 1).sum())
+        assert result.outbound_offered == out_total - result.suppressed_count
+
+    def test_delays_positive(self):
+        trace = make_stream(in_rate=500.0, out_burst=10, duration=10.0)
+        result = ForwardingEngine(quiet_profile(), seed=7).process(trace)
+        delays = result.delays()
+        assert delays.min() > 0.0
+
+
+class TestDeviceProfileValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"lookup_rate": 0.0},
+            {"wan_queue": 0},
+            {"lan_queue": 0},
+            {"service_cv": -1.0},
+            {"freeze_threshold": 0},
+        ],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ValueError):
+            DeviceProfile(**kwargs)

@@ -1,0 +1,161 @@
+"""Unit tests for time binning, histograms and CDFs."""
+
+import numpy as np
+import pytest
+
+from repro.stats.binning import BinnedSeries, bin_events
+from repro.stats.histogram import EmpiricalCDF, Histogram, histogram
+
+
+class TestBinEvents:
+    def test_counts_land_in_correct_bins(self):
+        series = bin_events(np.asarray([0.05, 0.15, 0.16, 0.95]), 0.1, end_time=1.0)
+        assert len(series) == 10
+        assert series.counts[0] == 1
+        assert series.counts[1] == 2
+        assert series.counts[9] == 1
+
+    def test_weights_summed(self):
+        series = bin_events(
+            np.asarray([0.05, 0.06]), 0.1, weights=np.asarray([10.0, 20.0]),
+            end_time=0.2,
+        )
+        assert series.weights[0] == 30.0
+        assert series.counts[0] == 2
+
+    def test_rates_and_bandwidth(self):
+        series = bin_events(
+            np.asarray([0.0, 0.5]), 1.0, weights=np.asarray([100.0, 100.0]),
+            end_time=1.0,
+        )
+        assert series.rates[0] == 2.0
+        assert series.bandwidth_bps()[0] == pytest.approx(1600.0)
+
+    def test_trailing_silence_produces_empty_bins(self):
+        series = bin_events(np.asarray([0.05]), 0.1, end_time=1.0)
+        assert len(series) == 10
+        assert series.counts[1:].sum() == 0
+
+    def test_events_outside_range_ignored(self):
+        series = bin_events(
+            np.asarray([-0.5, 0.05, 5.0]), 0.1, start_time=0.0, end_time=0.2
+        )
+        assert series.counts.sum() == 1
+
+    def test_empty_input(self):
+        series = bin_events(np.asarray([]), 0.1, end_time=1.0)
+        assert len(series) == 10
+        assert series.counts.sum() == 0
+
+    def test_invalid_bin_size(self):
+        with pytest.raises(ValueError):
+            bin_events(np.asarray([0.0]), 0.0)
+
+    def test_weights_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bin_events(np.asarray([0.0, 1.0]), 0.1, weights=np.asarray([1.0]))
+
+    def test_times_property(self):
+        series = bin_events(np.asarray([0.0]), 0.5, start_time=10.0, end_time=12.0)
+        assert series.times[0] == 10.0
+        assert series.times[-1] == pytest.approx(11.5)
+
+
+class TestRebin:
+    def test_rebin_sums(self):
+        series = bin_events(np.arange(0.05, 1.0, 0.1), 0.1, end_time=1.0)
+        coarse = series.rebin(5)
+        assert len(coarse) == 2
+        assert coarse.counts[0] == 5
+        assert coarse.bin_size == pytest.approx(0.5)
+
+    def test_rebin_drops_remainder(self):
+        series = BinnedSeries(1.0, 0.0, np.ones(7), np.ones(7))
+        coarse = series.rebin(3)
+        assert len(coarse) == 2
+        assert coarse.counts.sum() == 6
+
+    def test_rebin_factor_one_identity(self):
+        series = BinnedSeries(1.0, 0.0, np.ones(4), np.ones(4))
+        assert series.rebin(1) is series
+
+    def test_rebin_invalid_factor(self):
+        series = BinnedSeries(1.0, 0.0, np.ones(4), np.ones(4))
+        with pytest.raises(ValueError):
+            series.rebin(0)
+        with pytest.raises(ValueError):
+            series.rebin(10)
+
+
+class TestHistogram:
+    def test_probabilities_sum_to_in_range_fraction(self):
+        samples = np.asarray([10.0, 20.0, 30.0, 600.0])
+        hist = histogram(samples, 10.0, low=0.0, high=500.0)
+        assert hist.probabilities.sum() == pytest.approx(0.75)
+        assert hist.total_samples == 4
+
+    def test_mode_bin(self):
+        hist = histogram(np.asarray([15.0, 15.5, 40.0]), 10.0, high=50.0)
+        center, probability = hist.mode_bin()
+        assert center == pytest.approx(15.0)
+        assert probability == pytest.approx(2.0 / 3.0)
+
+    def test_mass_between(self):
+        hist = histogram(np.asarray([5.0, 15.0, 25.0, 35.0]), 10.0, high=40.0)
+        assert hist.mass_between(10.0, 30.0) == pytest.approx(0.5)
+
+    def test_densities_integrate_to_mass(self):
+        hist = histogram(np.asarray([1.0, 2.0, 3.0]), 1.0, high=5.0)
+        assert (hist.densities * hist.bin_width).sum() == pytest.approx(1.0)
+
+    def test_high_inferred_from_samples(self):
+        hist = histogram(np.asarray([4.0, 95.0]), 10.0)
+        assert hist.bin_edges[-1] >= 95.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            histogram(np.asarray([1.0]), 0.0)
+        with pytest.raises(ValueError):
+            histogram(np.asarray([1.0]), 1.0, low=5.0, high=5.0)
+        with pytest.raises(ValueError):
+            Histogram(np.asarray([0.0, 1.0]), np.asarray([1, 2]), 3)
+
+    def test_cumulative_monotone(self):
+        hist = histogram(np.random.default_rng(0).uniform(0, 100, 1000), 5.0,
+                         high=100.0)
+        cumulative = hist.cumulative()
+        assert np.all(np.diff(cumulative) >= 0)
+        assert cumulative[-1] == pytest.approx(1.0)
+
+
+class TestEmpiricalCDF:
+    def test_evaluation(self):
+        cdf = EmpiricalCDF.from_samples(np.asarray([1.0, 2.0, 3.0, 4.0]))
+        assert cdf(0.5) == 0.0
+        assert cdf(2.0) == pytest.approx(0.5)
+        assert cdf(10.0) == 1.0
+
+    def test_vectorised_evaluation(self):
+        cdf = EmpiricalCDF.from_samples(np.asarray([1.0, 2.0]))
+        values = cdf(np.asarray([0.0, 1.5, 3.0]))
+        assert list(values) == pytest.approx([0.0, 0.5, 1.0])
+
+    def test_quantile_inverts(self):
+        samples = np.random.default_rng(1).normal(size=1001)
+        cdf = EmpiricalCDF.from_samples(samples)
+        assert cdf.quantile(0.5) == pytest.approx(np.median(samples), abs=1e-9)
+
+    def test_quantile_bounds(self):
+        cdf = EmpiricalCDF.from_samples(np.asarray([5.0]))
+        with pytest.raises(ValueError):
+            cdf.quantile(0.0)
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF.from_samples(np.asarray([]))
+
+    def test_median_property(self):
+        cdf = EmpiricalCDF.from_samples(np.asarray([1.0, 2.0, 3.0]))
+        assert cdf.median == 2.0

@@ -1,0 +1,100 @@
+"""Unit tests for composable trace filters."""
+
+import numpy as np
+import pytest
+
+from repro.net.addresses import IPv4Address
+from repro.net.ip import PROTO_TCP, PROTO_UDP
+from repro.trace.filters import (
+    by_client,
+    by_direction,
+    by_payload_size,
+    by_port,
+    by_protocol,
+    by_time,
+    inbound,
+    outbound,
+    small_packets,
+)
+from repro.trace.packet import Direction
+
+
+class TestBasicFilters:
+    def test_direction(self, synthetic_trace):
+        assert inbound().count(synthetic_trace) == 10
+        assert outbound().count(synthetic_trace) == 5
+        assert by_direction(Direction.IN).count(synthetic_trace) == 10
+
+    def test_time_window(self, synthetic_trace):
+        selected = by_time(0.2, 0.5).apply(synthetic_trace)
+        assert np.all(selected.timestamps >= 0.2)
+        assert np.all(selected.timestamps < 0.5)
+
+    def test_time_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            by_time(1.0, 0.0)
+
+    def test_payload_size(self, synthetic_trace):
+        # inbound packets are 40 B, outbound 130 B
+        assert by_payload_size(0, 100).count(synthetic_trace) == 10
+        assert by_payload_size(100, 200).count(synthetic_trace) == 5
+
+    def test_payload_size_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            by_payload_size(100, 50)
+
+    def test_small_packets(self, synthetic_trace):
+        assert small_packets(200).count(synthetic_trace) == 15
+        assert small_packets(100).count(synthetic_trace) == 10
+
+    def test_by_client(self, synthetic_trace):
+        assert by_client(IPv4Address("10.0.0.1")).count(synthetic_trace) == 15
+        assert by_client(IPv4Address("9.9.9.9")).count(synthetic_trace) == 0
+
+    def test_by_port(self, synthetic_trace):
+        assert by_port(27015).count(synthetic_trace) == 15
+        assert by_port(9999).count(synthetic_trace) == 0
+
+    def test_by_port_validation(self):
+        with pytest.raises(ValueError):
+            by_port(70000)
+
+    def test_by_protocol(self, synthetic_trace):
+        assert by_protocol(PROTO_UDP).count(synthetic_trace) == 15
+        assert by_protocol(PROTO_TCP).count(synthetic_trace) == 0
+
+    def test_by_protocol_validation(self):
+        with pytest.raises(ValueError):
+            by_protocol(300)
+
+
+class TestComposition:
+    def test_and(self, synthetic_trace):
+        combined = inbound() & by_time(0.0, 0.35)
+        # inbound at 0.0, 0.1, 0.2, 0.3
+        assert combined.count(synthetic_trace) == 4
+
+    def test_or(self, synthetic_trace):
+        combined = by_payload_size(130, 130) | by_time(0.0, 0.05)
+        # 5 outbound (130 B) + the inbound packet at t=0.0
+        assert combined.count(synthetic_trace) == 6
+
+    def test_not(self, synthetic_trace):
+        assert (~inbound()).count(synthetic_trace) == 5
+
+    def test_description_composes(self):
+        combined = ~(inbound() & by_port(27015))
+        assert "direction=IN" in combined.description
+        assert "port=27015" in combined.description
+        assert combined.description.startswith("(not")
+
+    def test_apply_returns_trace(self, synthetic_trace):
+        selected = (inbound() | outbound()).apply(synthetic_trace)
+        assert len(selected) == len(synthetic_trace)
+
+    def test_de_morgan(self, synthetic_trace):
+        left = ~(inbound() | small_packets(100))
+        right = (~inbound()) & (~small_packets(100))
+        assert np.array_equal(
+            left.mask(synthetic_trace), right.mask(synthetic_trace)
+        )

@@ -1,0 +1,146 @@
+"""Unit tests for the pcap reader/writer."""
+
+import io
+import struct
+
+import numpy as np
+import pytest
+
+from repro.net.addresses import IPv4Address
+from repro.trace.pcap import (
+    LINKTYPE_ETHERNET,
+    MAGIC_MICROS,
+    PcapFormatError,
+    read_pcap,
+    write_pcap,
+)
+from repro.trace.trace import Trace, TraceBuilder
+from repro.trace.packet import Direction
+
+SERVER = IPv4Address("10.0.0.2")
+
+
+def build_trace(n=50, seed=3):
+    rng = np.random.default_rng(seed)
+    builder = TraceBuilder(server_address=SERVER)
+    t = 0.0
+    for i in range(n):
+        t += float(rng.uniform(0.001, 0.05))
+        if i % 3 == 0:
+            builder.add(t, Direction.OUT, SERVER.value,
+                        IPv4Address("10.0.1.5").value, 27015, 27005,
+                        int(rng.integers(30, 400)))
+        else:
+            builder.add(t, Direction.IN, IPv4Address("10.0.1.5").value,
+                        SERVER.value, 27005, 27015, int(rng.integers(24, 70)))
+    return builder.build()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("nanosecond", [False, True])
+    def test_fields_preserved(self, nanosecond):
+        trace = build_trace()
+        buffer = io.BytesIO()
+        written = write_pcap(trace, buffer, nanosecond=nanosecond)
+        assert written == len(trace)
+        buffer.seek(0)
+        parsed = read_pcap(buffer, server_address=SERVER)
+        assert len(parsed) == len(trace)
+        assert np.array_equal(parsed.payload_sizes, trace.payload_sizes)
+        assert np.array_equal(parsed.directions, trace.directions)
+        assert np.array_equal(parsed.src_addrs, trace.src_addrs)
+        assert np.array_equal(parsed.src_ports, trace.src_ports)
+        tolerance = 2e-9 if nanosecond else 2e-6
+        # timestamps are rebased to the first packet
+        expected = trace.timestamps - trace.timestamps[0]
+        assert np.allclose(parsed.timestamps, expected, atol=tolerance)
+
+    def test_file_path_roundtrip(self, tmp_path):
+        trace = build_trace(20)
+        path = str(tmp_path / "capture.pcap")
+        write_pcap(trace, path)
+        parsed = read_pcap(path, server_address=SERVER)
+        assert len(parsed) == 20
+
+    def test_server_inferred_from_first_packet(self):
+        trace = build_trace()
+        # ensure first packet is inbound so dst == server
+        assert Direction(int(trace.directions[0])) in (Direction.IN, Direction.OUT)
+        buffer = io.BytesIO()
+        write_pcap(trace, buffer)
+        buffer.seek(0)
+        parsed = read_pcap(buffer)  # no server_address given
+        assert parsed.server_address is not None
+
+
+class TestMalformedInput:
+    def test_bad_magic(self):
+        with pytest.raises(PcapFormatError, match="magic"):
+            read_pcap(io.BytesIO(b"\x00" * 24))
+
+    def test_truncated_global_header(self):
+        with pytest.raises(PcapFormatError, match="global header"):
+            read_pcap(io.BytesIO(b"\x00" * 10))
+
+    def test_unsupported_linktype(self):
+        header = struct.pack("<IHHiIII", MAGIC_MICROS, 2, 4, 0, 0, 65535, 101)
+        with pytest.raises(PcapFormatError, match="linktype"):
+            read_pcap(io.BytesIO(header))
+
+    def test_truncated_record_header(self):
+        trace = build_trace(2)
+        buffer = io.BytesIO()
+        write_pcap(trace, buffer)
+        data = buffer.getvalue()[:30]  # cut inside the first record header
+        with pytest.raises(PcapFormatError, match="record header"):
+            read_pcap(io.BytesIO(data))
+
+    def test_truncated_packet_data(self):
+        trace = build_trace(1)
+        buffer = io.BytesIO()
+        write_pcap(trace, buffer)
+        data = buffer.getvalue()[:-5]
+        with pytest.raises(PcapFormatError, match="packet data"):
+            read_pcap(io.BytesIO(data))
+
+    def test_non_ip_frames_skipped_when_lenient(self):
+        trace = build_trace(3)
+        buffer = io.BytesIO()
+        write_pcap(trace, buffer)
+        # append a record with a non-IPv4 ethertype (ARP)
+        frame = b"\xff" * 12 + b"\x08\x06" + b"\x00" * 28
+        buffer.write(struct.pack("<IIII", 100, 0, len(frame), len(frame)))
+        buffer.write(frame)
+        buffer.seek(0)
+        parsed = read_pcap(buffer, server_address=SERVER)
+        assert len(parsed) == 3
+
+    def test_non_ip_frames_raise_when_strict(self):
+        buffer = io.BytesIO()
+        write_pcap(build_trace(1), buffer)
+        frame = b"\xff" * 12 + b"\x08\x06" + b"\x00" * 28
+        buffer.write(struct.pack("<IIII", 100, 0, len(frame), len(frame)))
+        buffer.write(frame)
+        buffer.seek(0)
+        with pytest.raises(PcapFormatError, match="unparseable"):
+            read_pcap(buffer, server_address=SERVER, strict=True)
+
+
+class TestBigEndian:
+    def test_big_endian_header_accepted(self):
+        # hand-craft a big-endian pcap with a single minimal UDP frame
+        from repro.trace.pcap import _build_frame, CLIENT_MAC, SERVER_MAC
+
+        frame = _build_frame(
+            CLIENT_MAC, SERVER_MAC,
+            IPv4Address("10.0.1.5"), SERVER, 27005, 27015, b"\x00" * 30,
+        )
+        buffer = io.BytesIO()
+        buffer.write(struct.pack(">IHHiIII", MAGIC_MICROS, 2, 4, 0, 0, 65535,
+                                 LINKTYPE_ETHERNET))
+        buffer.write(struct.pack(">IIII", 10, 500, len(frame), len(frame)))
+        buffer.write(frame)
+        buffer.seek(0)
+        parsed = read_pcap(buffer, server_address=SERVER)
+        assert len(parsed) == 1
+        assert int(parsed.payload_sizes[0]) == 30

@@ -1,0 +1,133 @@
+"""Unit tests for workload builders: links, web traffic, scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.links import (
+    LINK_CATALOGUE,
+    LastMileLink,
+    narrowest_link,
+    saturation_report,
+)
+from repro.workloads.scenarios import Scenario, clear_scenario_cache, olygamer_scenario
+from repro.workloads.web import WebTrafficModel, generate_web_packets, interleave_streams
+from repro.gameserver.config import quick_test_profile
+
+
+class TestLinks:
+    def test_narrowest_is_modem(self):
+        assert narrowest_link().name == "modem56k"
+
+    def test_modem_saturated_by_game_demand(self):
+        modem = LINK_CATALOGUE["modem56k"]
+        assert modem.is_saturated_by(40_000.0)
+        assert modem.supports(40_000.0)
+
+    def test_dsl_not_saturated(self):
+        assert not LINK_CATALOGUE["dsl"].is_saturated_by(40_000.0)
+
+    def test_utilisation_math(self):
+        link = LastMileLink("x", 100.0, 50.0, 0.01)
+        assert link.utilisation(25.0) == pytest.approx(0.5)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            LINK_CATALOGUE["dsl"].utilisation(-1.0)
+
+    def test_saturation_report_sorted_by_capacity(self):
+        report = saturation_report(40_000.0)
+        names = [name for name, _, _ in report]
+        assert names[0] == "modem56k"
+        effective = [LINK_CATALOGUE[n].effective_bps for n in names]
+        assert effective == sorted(effective)
+
+
+class TestWebTraffic:
+    def test_generation_shapes(self, rng):
+        keys, sizes = generate_web_packets(WebTrafficModel(), 10_000, rng)
+        assert keys.shape == sizes.shape == (10_000,)
+        assert keys.min() > 1_000_000
+
+    def test_zipf_popularity_skew(self, rng):
+        keys, _ = generate_web_packets(WebTrafficModel(), 50_000, rng)
+        _, counts = np.unique(keys, return_counts=True)
+        top_share = np.sort(counts)[::-1][:10].sum() / counts.sum()
+        assert top_share > 0.3  # heavy-tailed popularity
+
+    def test_bimodal_sizes(self, rng):
+        model = WebTrafficModel(ack_fraction=0.4)
+        _, sizes = generate_web_packets(model, 20_000, rng)
+        ack_share = (sizes == model.ack_size).mean()
+        assert ack_share == pytest.approx(0.4, abs=0.03)
+        assert sizes.max() <= model.data_size_max
+
+    def test_web_mean_far_above_game_mean(self, rng):
+        _, sizes = generate_web_packets(WebTrafficModel(), 20_000, rng)
+        assert sizes.mean() > 400.0  # the exchange-point contrast
+
+    def test_zero_count(self, rng):
+        keys, sizes = generate_web_packets(WebTrafficModel(), 0, rng)
+        assert keys.size == 0
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            WebTrafficModel(destinations=0)
+        with pytest.raises(ValueError):
+            WebTrafficModel(zipf_s=1.0)
+        with pytest.raises(ValueError):
+            WebTrafficModel(ack_fraction=1.5)
+
+    def test_interleave(self, rng):
+        game_keys = np.arange(100)
+        game_sizes = np.full(100, 40)
+        web_keys, web_sizes = generate_web_packets(WebTrafficModel(), 100, rng)
+        keys, sizes, labels = interleave_streams(
+            rng, game_keys, game_sizes, web_keys, web_sizes
+        )
+        assert keys.size == 200
+        assert (labels == "game").sum() == 100
+        assert (labels == "web").sum() == 100
+
+    def test_interleave_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            interleave_streams(
+                rng, np.arange(2), np.arange(3), np.arange(2), np.arange(2)
+            )
+
+
+class TestScenario:
+    def test_population_cached(self):
+        scenario = Scenario(quick_test_profile(), seed=1)
+        assert scenario.population is scenario.population
+
+    def test_packet_window_cached_per_window(self):
+        scenario = Scenario(quick_test_profile(), seed=1)
+        a = scenario.packet_window(0.0, 30.0)
+        b = scenario.packet_window(0.0, 30.0)
+        c = scenario.packet_window(30.0, 60.0)
+        assert a is b
+        assert c is not a
+
+    def test_clear_packet_windows(self):
+        scenario = Scenario(quick_test_profile(), seed=1)
+        a = scenario.packet_window(0.0, 30.0)
+        scenario.clear_packet_windows()
+        assert scenario.packet_window(0.0, 30.0) is not a
+
+    def test_per_minute_is_rebinned_per_second(self):
+        scenario = Scenario(quick_test_profile(), seed=1)
+        per_second = scenario.per_second_series()
+        per_minute = scenario.per_minute_series()
+        assert per_minute.bin_size == 60.0
+        kept = len(per_minute) * 60
+        assert per_minute.total_counts.sum() == pytest.approx(
+            per_second.total_counts[:kept].sum()
+        )
+
+    def test_global_cache(self):
+        clear_scenario_cache()
+        a = olygamer_scenario(seed=123)
+        b = olygamer_scenario(seed=123)
+        assert a is b
+        clear_scenario_cache()
+        assert olygamer_scenario(seed=123) is not a
