@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Fleet provisioning study: what uplink does a 16-server facility need?
+
+The paper provisions one busy server; a hosting facility runs many
+heterogeneous ones.  This study simulates a 16-server facility over one
+day and answers the §IV questions at facility scale:
+
+1. What bandwidth/pps envelope must the facility uplink carry?
+2. How much headroom does statistical multiplexing buy over naive
+   sum-of-peaks provisioning?
+3. What does each additional server cost at the peak (marginal
+   provisioning cost)?
+
+Usage::
+
+    python examples/fleet_provisioning.py
+"""
+
+from repro.core import FacilityAnalysis
+from repro.fleet import FleetScenario, hosting_facility
+
+N_SERVERS = 16
+HORIZON_S = 86400.0  # one simulated day
+
+
+def main() -> None:
+    fleet = hosting_facility(n_servers=N_SERVERS, duration=HORIZON_S, seed=0)
+    scenario = FleetScenario(fleet)
+
+    print(f"facility of {N_SERVERS} heterogeneous servers, "
+          f"{HORIZON_S / 3600:.0f} h horizon")
+    print(fleet.describe())
+    print()
+
+    analysis = FacilityAnalysis.from_series(scenario.iter_server_series())
+    envelope = analysis.envelope()
+    print("facility uplink envelope (p99 of per-second load)")
+    print(f"  mean {envelope.mean_bandwidth_bps / 1e6:7.2f} Mbps   "
+          f"peak {envelope.peak_bandwidth_bps / 1e6:7.2f} Mbps   "
+          f"({envelope.peak_to_mean_bandwidth:.2f}x mean)")
+    print(f"  mean {envelope.mean_pps:7.0f} pps    "
+          f"peak {envelope.peak_pps:7.0f} pps\n")
+
+    multiplexing = analysis.multiplexing()
+    print("statistical multiplexing (per-server vs aggregate burstiness)")
+    print(f"  mean per-server peak/mean: "
+          f"{multiplexing.per_server_peak_to_mean.mean():.2f}")
+    print(f"  aggregate peak/mean:       "
+          f"{multiplexing.aggregate_peak_to_mean:.2f}")
+    print(f"  smoothing gain:            {multiplexing.gain:.2f}x")
+    print(f"  sum-of-peaks provisioning would overbuild by "
+          f"{multiplexing.overbuild:.2f}x\n")
+
+    curve = analysis.provisioning_curve_bps()
+    marginal = analysis.marginal_cost_bps()
+    print("marginal provisioning cost of the Nth server (peak uplink)")
+    for index, (total, cost) in enumerate(zip(curve, marginal), start=1):
+        slots = fleet.server_profile(index - 1).max_players
+        print(f"  N={index:2d} ({slots:2d} slots): facility peak "
+              f"{total / 1e6:6.2f} Mbps   (+{cost / 1e3:6.0f} kbps)")
+    mean_share = curve[-1] / len(curve)
+    print(f"\n  facility mean share: {mean_share / 1e3:.0f} kbps/server; "
+          f"late marginal costs hover around it — provisioning stays "
+          f"effectively linear, as the paper's §IV-B predicts.")
+
+
+if __name__ == "__main__":
+    main()

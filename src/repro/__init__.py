@@ -15,8 +15,12 @@ Top-level layout:
 * :mod:`repro.core` — the paper's analyses (summaries, self-similarity,
   packet sizes, per-flow bandwidth, provisioning, NAT accounting);
 * :mod:`repro.workloads` — named scenarios, link catalogue, web traffic;
-* :mod:`repro.experiments` — one module per table/figure, with a CLI
-  runner (``repro-experiments``).
+* :mod:`repro.fleet` — multi-server hosting-facility simulation:
+  heterogeneous fleet profiles, sharded parallel execution with
+  deterministic per-server seeding, streaming k-way aggregation;
+* :mod:`repro.experiments` — one module per table/figure plus the
+  fleet provisioning experiment, with a CLI runner
+  (``repro-experiments``, see EXPERIMENTS.md).
 
 Quickstart::
 

@@ -1,12 +1,17 @@
 """The paper's analyses: summaries, time series, self-similarity,
-packet sizes, per-flow bandwidth, periodicity, provisioning, and the
-NAT-experiment accounting.
+packet sizes, per-flow bandwidth, periodicity, provisioning,
+facility-level fleet envelopes, and the NAT-experiment accounting.
 
 This package is generation-agnostic — every function takes a
 :class:`~repro.trace.Trace`, a count series, or a population result, so
 the same pipelines run on synthetic traffic or parsed pcaps.
 """
 
+from repro.core.facility import (
+    FacilityAnalysis,
+    FacilityEnvelope,
+    MultiplexingGain,
+)
 from repro.core.interarrival import InterarrivalAnalysis
 from repro.core.natanalysis import NatAnalysis, NatFlowSeries
 from repro.core.outages import DipEvent, classify_dips, detect_dips, match_expected_dips
@@ -53,6 +58,8 @@ __all__ = [
     "ComparisonRow",
     "DipEvent",
     "DirectionModel",
+    "FacilityAnalysis",
+    "FacilityEnvelope",
     "FIGURE_TRUNCATION_BYTES",
     "ModelValidation",
     "SourceModel",
@@ -62,6 +69,7 @@ __all__ = [
     "MAP_BOUNDARY",
     "MIN_FLOW_DURATION",
     "MODEM_RATE_BPS",
+    "MultiplexingGain",
     "NatAnalysis",
     "NatFlowSeries",
     "NetworkUsage",

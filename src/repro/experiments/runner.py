@@ -32,6 +32,7 @@ from repro.experiments import (
     fig13,
     fig14,
     fig15,
+    fleet,
     linearity,
     sourcemodel,
     table1,
@@ -70,6 +71,7 @@ REGISTRY: Dict[str, Callable[[int], ExperimentOutput]] = {
         aggregation,
         closedloop,
         sourcemodel,
+        fleet,
     )
 }
 
@@ -100,9 +102,24 @@ def main(argv: List[str] = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="master seed")
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for sharded experiments (e.g. fleet); "
+        "default: one per CPU, 1 forces serial",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
     args = parser.parse_args(argv)
+
+    if args.workers is not None:
+        from repro.fleet.execution import set_default_workers
+
+        if args.workers < 1:
+            print("error: --workers must be >= 1", file=sys.stderr)
+            return 2
+        set_default_workers(args.workers)
 
     if args.list:
         for experiment_id in REGISTRY:

@@ -1,0 +1,191 @@
+"""Sharded per-server execution with order-independent determinism.
+
+Simulating a facility is embarrassingly parallel — each server's week
+depends only on its own ``(profile, seed)`` — but naive parallelism
+breaks reproducibility two ways: worker-count-dependent seed derivation,
+and reduction order that follows completion order (floating-point sums
+are not reorderable).  This module pins both down:
+
+* :func:`fleet_server_seed` derives each server's master seed from the
+  fleet seed and the server *index* (never from a worker id or a shared
+  counter), so any shard layout sees identical randomness;
+* :func:`shard_map_fold` runs a task list across ``concurrent.futures``
+  workers but folds results strictly in task-index order, buffering the
+  out-of-order completions — the fold sees exactly the serial order, so
+  serial and parallel runs are bit-identical.
+
+The fold consumes each result as soon as its index is reached, and
+submissions are capped at twice the worker count in flight (running or
+buffered), so peak memory is the accumulator plus O(workers) per-server
+results — never all of them at once, regardless of fleet size or task
+skew.
+
+Worker payloads are module-level functions on picklable task tuples, so
+the same code path runs under fork and spawn start methods.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, TypeVar
+
+from repro.gameserver.config import ServerProfile
+from repro.gameserver.fluid import FluidSeries
+from repro.sim.random import derive_seed
+from repro.trace.trace import Trace
+
+A = TypeVar("A")
+R = TypeVar("R")
+T = TypeVar("T")
+
+_default_workers: Optional[int] = None
+
+
+def available_cpus() -> int:
+    """CPUs usable by this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def set_default_workers(workers: Optional[int]) -> None:
+    """Set the process-wide default worker count (None = one per CPU).
+
+    Wired to the ``repro-experiments --workers`` flag so experiments can
+    be forced serial (reference runs) or spread wide (bench runs).
+    """
+    global _default_workers
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1: {workers!r}")
+    _default_workers = workers
+
+
+def resolve_workers(workers: Optional[int], n_tasks: int) -> int:
+    """Effective worker count for ``n_tasks`` tasks.
+
+    Explicit ``workers`` wins; otherwise the process-wide default; then
+    one worker per available CPU.  Never more workers than tasks, never
+    fewer than one.
+    """
+    if workers is None:
+        workers = _default_workers
+    if workers is None:
+        workers = available_cpus()
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1: {workers!r}")
+    return max(1, min(int(workers), int(n_tasks)))
+
+
+def fleet_server_seed(fleet_seed: int, index: int) -> int:
+    """Master seed of server ``index`` — a pure function of (seed, index)."""
+    return derive_seed(fleet_seed, f"fleet-server:{index}")
+
+
+# ----------------------------------------------------------------------
+# ordered map/fold
+# ----------------------------------------------------------------------
+def shard_map_fold(
+    fn: Callable[[T], R],
+    tasks: Sequence[T],
+    fold: Callable[[A, R], A],
+    initial: A,
+    workers: Optional[int] = None,
+) -> A:
+    """``fold`` over ``fn(task)`` results, strictly in task order.
+
+    With one effective worker this is a plain loop (no subprocesses, no
+    pickling).  With more, tasks run in a :class:`ProcessPoolExecutor`
+    and completions are buffered until their index is next, so the fold
+    order — and therefore every floating-point sum and every stable
+    merge — matches the serial run exactly.
+    """
+    tasks = list(tasks)
+    workers = resolve_workers(workers, len(tasks))
+    if workers <= 1 or len(tasks) <= 1:
+        accumulator = initial
+        for task in tasks:
+            accumulator = fold(accumulator, fn(task))
+        return accumulator
+
+    accumulator = initial
+    next_index = 0
+    submit_index = 0
+    out_of_order: dict = {}
+    # Cap in-flight work (running + buffered results) so a slow early
+    # task cannot pile the other N-1 results into the buffer — this is
+    # what keeps peak memory independent of fleet size.
+    max_in_flight = 2 * workers
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        index_of: dict = {}
+        pending: set = set()
+
+        def top_up() -> None:
+            nonlocal submit_index
+            while (
+                submit_index < len(tasks)
+                and len(pending) + len(out_of_order) < max_in_flight
+            ):
+                future = pool.submit(fn, tasks[submit_index])
+                index_of[future] = submit_index
+                pending.add(future)
+                submit_index += 1
+
+        top_up()
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                out_of_order[index_of.pop(future)] = future.result()
+            while next_index in out_of_order:
+                accumulator = fold(accumulator, out_of_order.pop(next_index))
+                next_index += 1
+            top_up()
+    return accumulator
+
+
+def shard_map(
+    fn: Callable[[T], R],
+    tasks: Sequence[T],
+    workers: Optional[int] = None,
+) -> list:
+    """All results in task order (when the caller does need them all)."""
+    return shard_map_fold(
+        fn, tasks, lambda acc, result: (acc.append(result) or acc), [], workers
+    )
+
+
+# ----------------------------------------------------------------------
+# picklable per-server workloads
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SeriesTask:
+    """Per-second fluid series of one server."""
+
+    profile: ServerProfile
+    seed: int
+
+
+@dataclass(frozen=True)
+class WindowTask:
+    """Packet-level window of one server."""
+
+    profile: ServerProfile
+    seed: int
+    start: float
+    end: float
+
+
+def simulate_series(task: SeriesTask) -> FluidSeries:
+    """Worker: session-level week + count-level per-second series."""
+    from repro.workloads.scenarios import Scenario
+
+    return Scenario(task.profile, seed=task.seed).per_second_series()
+
+
+def simulate_window(task: WindowTask) -> Trace:
+    """Worker: session-level week + packet-level window trace."""
+    from repro.workloads.scenarios import Scenario
+
+    return Scenario(task.profile, seed=task.seed).packet_window(task.start, task.end)

@@ -107,6 +107,10 @@ class ServerProfile:
     attempt_rate: float = 0.0383
     #: Relative amplitude of the mild diurnal modulation of attempts.
     diurnal_amplitude: float = 0.35
+    #: Phase offset (radians) of the diurnal modulation.  Zero reproduces
+    #: the paper's server; fleet profiles shift it to model facilities
+    #: whose servers draw players from different time zones.
+    diurnal_phase: float = 0.0
     #: Probability a given attempt comes from a never-seen client
     #: (8 207 unique / 24 004 attempts ≈ 0.342).
     new_client_probability: float = 0.342

@@ -217,7 +217,7 @@ class PopulationSimulator:
     def _attempt_rate_at(self, t: float) -> float:
         """Diurnally modulated attempt rate λ(t) (per second)."""
         profile = self.profile
-        phase = 2.0 * math.pi * (t / 86400.0)
+        phase = 2.0 * math.pi * (t / 86400.0) + profile.diurnal_phase
         return profile.attempt_rate * (
             1.0 + profile.diurnal_amplitude * math.sin(phase - 0.7)
         )

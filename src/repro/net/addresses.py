@@ -85,6 +85,11 @@ class IPv4Address:
     def __add__(self, offset: int) -> "IPv4Address":
         return IPv4Address((self._value + int(offset)) & 0xFFFFFFFF)
 
+    def __reduce__(self):
+        # Slots plus the immutability guard break default pickling; the
+        # fleet execution layer ships profiles/traces across processes.
+        return (IPv4Address, (self._value,))
+
     def __str__(self) -> str:
         return ".".join(str(o) for o in self.octets)
 
@@ -144,6 +149,9 @@ class MACAddress:
 
     def __setattr__(self, name, value):
         raise AttributeError("MACAddress is immutable")
+
+    def __reduce__(self):
+        return (MACAddress, (self._value,))
 
     @property
     def value(self) -> int:
