@@ -1,0 +1,57 @@
+"""Bench: facilitynet — busy-minute facility traffic through the tree.
+
+Times the full experiment (fleet windows, per-rack merge, four-ratio
+uplink sweep, worker-parity cross-check) and separately the hop
+traversal alone on cached ingress, so regressions in the shared FIFO
+kernel or the tail-drop link show up apart from fleet simulation cost.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_bench
+from repro.experiments import facilitynet
+from repro.facilitynet.pipeline import rack_ingress_traces, run_hops
+from repro.facilitynet.report import ingress_envelope
+from repro.facilitynet.topology import build_topology, provision_from_envelope
+from repro.fleet.profiles import hosting_facility
+
+
+def test_bench_facilitynet_experiment(benchmark):
+    """The registered experiment end to end."""
+    run_experiment_bench(benchmark, facilitynet.run)
+
+
+def test_bench_facilitynet_hops_only(benchmark):
+    """Hop traversal on pre-simulated ingress (kernel + link cost only)."""
+    fleet = hosting_facility(
+        n_servers=facilitynet.FACILITY_SERVERS,
+        duration=facilitynet.HORIZON_S,
+        seed=0,
+    )
+    shape = build_topology(
+        facilitynet.FACILITY_SERVERS,
+        facilitynet.FACILITY_RACKS,
+        per_server_pps=1.0,
+        per_server_bps=1.0,
+    )
+    ingress = rack_ingress_traces(
+        fleet, shape, *facilitynet.WINDOW, workers=1
+    )
+    envelope = ingress_envelope(ingress, *facilitynet.WINDOW, percentile=100.0)
+    topology = provision_from_envelope(
+        envelope,
+        n_servers=facilitynet.FACILITY_SERVERS,
+        n_racks=facilitynet.FACILITY_RACKS,
+        rack_oversubscription=facilitynet.RACK_OVERSUBSCRIPTION,
+        core_oversubscription=facilitynet.CORE_OVERSUBSCRIPTION,
+        uplink_oversubscription=facilitynet.RATIOS[-1],
+    )
+    result = benchmark.pedantic(
+        run_hops,
+        args=(topology, ingress, *facilitynet.WINDOW),
+        kwargs={"seed": fleet.seed},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.uplink.dropped > 0
+    assert result.ingress_packets == sum(len(trace) for trace in ingress)

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Facility network pipeline: where does a 16-server facility drop first?
+
+The fleet study (``fleet_provisioning.py``) sizes the uplink by summing
+demand; this study pushes the same facility's busy-minute traffic
+through the actual concentration points — 4 top-of-rack switches, one
+core fabric, one Internet uplink — and watches where packets die as the
+uplink's oversubscription ratio rises.
+
+Usage::
+
+    python examples/facility_pipeline.py
+"""
+
+from repro.facilitynet import (
+    build_topology,
+    first_dropping_tier,
+    ingress_envelope,
+    latency_budget,
+    provision_from_envelope,
+    rack_ingress_traces,
+    run_hops,
+)
+from repro.fleet import hosting_facility
+
+N_SERVERS = 16
+N_RACKS = 4
+WINDOW = (3600.0, 3660.0)  # the busy hour's first minute, packet level
+HORIZON_S = 3720.0
+OVERSUBSCRIPTION_RATIOS = (1.0, 4.0)
+
+
+def main() -> None:
+    fleet = hosting_facility(n_servers=N_SERVERS, duration=HORIZON_S, seed=0)
+    shape = build_topology(
+        N_SERVERS, N_RACKS, per_server_pps=1.0, per_server_bps=1.0
+    )
+    print(f"facility of {N_SERVERS} servers in {N_RACKS} racks, busy-minute "
+          f"window [{WINDOW[0]:.0f}, {WINDOW[1]:.0f}) s")
+    print("simulating the fleet (sharded) and merging per-rack windows ...")
+    ingress = rack_ingress_traces(fleet, shape, *WINDOW)
+    envelope = ingress_envelope(ingress, *WINDOW, percentile=100.0)
+    print(f"offered facility load: mean "
+          f"{envelope.mean_bandwidth_bps / 1e6:.2f} Mbps, busiest second "
+          f"{envelope.peak_bandwidth_bps / 1e6:.2f} Mbps "
+          f"({envelope.peak_pps:.0f} pps)\n")
+
+    for ratio in OVERSUBSCRIPTION_RATIOS:
+        topology = provision_from_envelope(
+            envelope,
+            n_servers=N_SERVERS,
+            n_racks=N_RACKS,
+            rack_oversubscription=0.5,
+            core_oversubscription=0.7,
+            uplink_oversubscription=ratio,
+        )
+        result = run_hops(topology, ingress, *WINDOW, seed=fleet.seed)
+        budget = latency_budget(result)
+        tier = first_dropping_tier(result)
+        print(f"uplink oversubscription {ratio:.1f}x "
+              f"({topology.uplink.rate_bps / 1e6:.2f} Mbps uplink)")
+        print(topology.describe())
+        for hop in result.hops:
+            print(f"    {hop.name:>8}: offered {hop.offered:7d}  dropped "
+                  f"{hop.dropped:6d}  loss {hop.loss_rate:7.4f}  "
+                  f"mean delay {hop.mean_delay_s * 1e3:7.3f} ms")
+        label = tier or "none — every stage carries its load"
+        print(f"  first dropping tier: {label}")
+        print(f"  latency budget: "
+              + ", ".join(f"{t} {s * 1e3:.2f} ms"
+                          for t, s in budget.tier_mean_s.items())
+              + f" (total {budget.total_mean_s * 1e3:.2f} ms)\n")
+
+    print("the uplink — the narrowest shared queue — saturates first; rack "
+          "and core fabrics, provisioned with headroom, stay clean.  This "
+          "is §IV's concentration warning made concrete.")
+
+
+if __name__ == "__main__":
+    main()

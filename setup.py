@@ -1,10 +1,29 @@
-"""Setuptools shim.
+"""Setuptools packaging for the repro distribution.
 
-The canonical metadata lives in pyproject.toml; this file exists so that
+Kept as a plain ``setup.py`` (no ``pyproject.toml``) so that
 ``pip install -e . --no-use-pep517`` works on environments without the
-``wheel`` package (PEP 660 editable installs require it).
+``wheel`` package (PEP 660 editable installs require it).  The
+``repro-experiments`` console script is the CLI documented in
+EXPERIMENTS.md and the README examples.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-counterstrike",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Provisioning On-line Games: A Traffic Analysis "
+        "of a Busy Counter-Strike Server' (IMC 2002)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-experiments=repro.experiments.runner:main",
+            "repro-simulate=repro.cli:main",
+        ]
+    },
+)

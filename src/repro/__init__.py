@@ -18,9 +18,13 @@ Top-level layout:
 * :mod:`repro.fleet` — multi-server hosting-facility simulation:
   heterogeneous fleet profiles, sharded parallel execution with
   deterministic per-server seeding, streaming k-way aggregation;
+* :mod:`repro.facilitynet` — hierarchical facility network pipeline:
+  declarative rack/core/uplink topology, reusable pps/bps hop engines
+  (the FIFO kernel shared with :mod:`repro.router.device`), streaming
+  per-rack execution, and per-hop loss/latency reports;
 * :mod:`repro.experiments` — one module per table/figure plus the
-  fleet provisioning experiment, with a CLI runner
-  (``repro-experiments``, see EXPERIMENTS.md).
+  fleet provisioning and facility network experiments, with a CLI
+  runner (``repro-experiments``, see EXPERIMENTS.md).
 
 Quickstart::
 

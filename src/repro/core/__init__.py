@@ -11,6 +11,7 @@ from repro.core.facility import (
     FacilityAnalysis,
     FacilityEnvelope,
     MultiplexingGain,
+    oversubscribed_capacity,
 )
 from repro.core.interarrival import InterarrivalAnalysis
 from repro.core.natanalysis import NatAnalysis, NatFlowSeries
@@ -86,6 +87,7 @@ __all__ = [
     "fit_source_model",
     "format_value",
     "match_expected_dips",
+    "oversubscribed_capacity",
     "regenerate",
     "validate_model",
     "interval_counts",

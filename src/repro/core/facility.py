@@ -18,7 +18,7 @@ fleets stream through it without materialising every series together.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -74,6 +74,12 @@ class FacilityEnvelope:
         if self.mean_pps <= 0:
             return 1.0
         return self.peak_pps / self.mean_pps
+
+    def per_server_share(self, n_servers: int) -> Tuple[float, float]:
+        """Even (pps, bps) peak share of each of ``n_servers`` servers."""
+        if n_servers < 1:
+            raise ValueError(f"n_servers must be >= 1: {n_servers!r}")
+        return self.peak_pps / n_servers, self.peak_bandwidth_bps / n_servers
 
     @property
     def peak_to_mean_bandwidth(self) -> float:
@@ -244,3 +250,19 @@ class FacilityAnalysis:
         """
         curve = self.provisioning_curve_bps()
         return np.diff(curve, prepend=0.0)
+
+
+def oversubscribed_capacity(
+    envelope: FacilityEnvelope, ratio: float
+) -> Tuple[float, float]:
+    """(pps, bps) capacity of a concentration point provisioned at ``ratio``.
+
+    An oversubscription ratio of R means the stage carries 1/R of the
+    envelope's peak demand: R <= 1 leaves headroom above every counted
+    bin, R > 1 guarantees sustained overload at the peaks.  This is the
+    sizing rule :mod:`repro.facilitynet.topology` uses to turn facility
+    envelopes into rack/core/uplink capacities.
+    """
+    if ratio <= 0:
+        raise ValueError(f"oversubscription ratio must be positive: {ratio!r}")
+    return envelope.peak_pps / ratio, envelope.peak_bandwidth_bps / ratio

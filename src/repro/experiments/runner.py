@@ -17,6 +17,7 @@ from repro.experiments import (
     buffering,
     caching,
     closedloop,
+    facilitynet,
     fig1,
     fig2,
     fig3,
@@ -42,37 +43,45 @@ from repro.experiments import (
 )
 from repro.experiments.base import ExperimentOutput
 
+#: Experiment modules in paper order (each exposes EXPERIMENT_ID, TITLE, run).
+_MODULES = (
+    table1,
+    table2,
+    table3,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    table4,
+    fig14,
+    fig15,
+    caching,
+    linearity,
+    buffering,
+    aggregation,
+    closedloop,
+    sourcemodel,
+    fleet,
+    facilitynet,
+)
+
 #: All experiments in paper order.
 REGISTRY: Dict[str, Callable[[int], ExperimentOutput]] = {
-    module.EXPERIMENT_ID: module.run
-    for module in (
-        table1,
-        table2,
-        table3,
-        fig1,
-        fig2,
-        fig3,
-        fig4,
-        fig5,
-        fig6,
-        fig7,
-        fig8,
-        fig9,
-        fig10,
-        fig11,
-        fig12,
-        fig13,
-        table4,
-        fig14,
-        fig15,
-        caching,
-        linearity,
-        buffering,
-        aggregation,
-        closedloop,
-        sourcemodel,
-        fleet,
-    )
+    module.EXPERIMENT_ID: module.run for module in _MODULES
+}
+
+#: One-line description of each experiment (shown by ``--list``).
+DESCRIPTIONS: Dict[str, str] = {
+    module.EXPERIMENT_ID: module.TITLE for module in _MODULES
 }
 
 
@@ -109,7 +118,9 @@ def main(argv: List[str] = None) -> int:
         "default: one per CPU, 1 forces serial",
     )
     parser.add_argument(
-        "--list", action="store_true", help="list experiment ids and exit"
+        "--list",
+        action="store_true",
+        help="list experiment ids with one-line descriptions and exit",
     )
     args = parser.parse_args(argv)
 
@@ -122,8 +133,9 @@ def main(argv: List[str] = None) -> int:
         set_default_workers(args.workers)
 
     if args.list:
+        width = max(len(experiment_id) for experiment_id in REGISTRY)
         for experiment_id in REGISTRY:
-            print(experiment_id)
+            print(f"{experiment_id:<{width}}  {DESCRIPTIONS[experiment_id]}")
         return 0
 
     ids = args.experiments or list(REGISTRY)

@@ -22,6 +22,12 @@ model reproduces the paper's three observed phenomena:
 The engine is strictly work-conserving FIFO by arrival (the lookup unit
 processes packets in arrival order regardless of side), with per-side
 buffer accounting — the architecture of low-end devices of the era.
+
+The FIFO core lives in :func:`repro.facilitynet.hops.fifo_forward` (the
+same kernel drives facility rack/core switches); this module keeps the
+SMC-specific parts — stall drawing, freeze policy, per-side accounting —
+and must stay bit-identical to the pre-refactor engine (see
+``tests/test_device_hop_parity.py``).
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.facilitynet.hops import FreezePolicy, fifo_forward
 from repro.sim.random import RandomStreams
 from repro.trace.packet import Direction
 from repro.trace.trace import Trace
@@ -181,11 +188,14 @@ class ForwardingEngine:
         n = len(trace)
         timestamps = trace.timestamps
         directions = trace.directions
-        fates = np.ones(n, dtype=np.int8)
-        departures = np.full(n, np.nan)
         if n == 0:
             return ForwardingResult(
-                fates, departures, [], [], directions.copy(), timestamps.copy()
+                np.ones(0, dtype=np.int8),
+                np.full(0, np.nan),
+                [],
+                [],
+                directions.copy(),
+                timestamps.copy(),
             )
 
         rng = self.streams.get("service")
@@ -198,74 +208,27 @@ class ForwardingEngine:
             service_times = np.full(n, mean_service)
 
         stalls = self._draw_stalls(float(timestamps[-1]), float(timestamps[0]))
-        stall_index = 0
-        freeze_windows: List[Tuple[float, float]] = []
-        freeze_until = -1.0
-        recent_in_drops: List[float] = []
-
-        engine_free = float(timestamps[0])
-        # per-side queues: service completion times of packets waiting or in
-        # service; packets whose completion <= now have left the buffer
-        wan_backlog: List[float] = []
-        lan_backlog: List[float] = []
-        in_dir = int(Direction.IN)
-
-        for i in range(n):
-            now = float(timestamps[i])
-            is_in = directions[i] == in_dir
-
-            # expire finished packets from both buffers
-            while wan_backlog and wan_backlog[0] <= now:
-                wan_backlog.pop(0)
-            while lan_backlog and lan_backlog[0] <= now:
-                lan_backlog.pop(0)
-
-            # server frozen: outbound packet was never generated
-            if not is_in and now < freeze_until:
-                fates[i] = -1
-                continue
-
-            if is_in:
-                # advance past finished stall windows
-                while stall_index < len(stalls) and stalls[stall_index][1] <= now:
-                    stall_index += 1
-                in_stall = (
-                    stall_index < len(stalls) and stalls[stall_index][0] <= now
-                )
-                if in_stall or len(wan_backlog) >= profile.wan_queue:
-                    fates[i] = 0
-                    recent_in_drops.append(now)
-                    cutoff = now - profile.freeze_window
-                    while recent_in_drops and recent_in_drops[0] < cutoff:
-                        recent_in_drops.pop(0)
-                    if (
-                        len(recent_in_drops) >= profile.freeze_threshold
-                        and now + profile.freeze_lag >= freeze_until
-                    ):
-                        freeze_start = now + profile.freeze_lag
-                        freeze_until = freeze_start + profile.freeze_duration
-                        freeze_windows.append((freeze_start, freeze_until))
-                        recent_in_drops.clear()
-                    continue
-            else:
-                if len(lan_backlog) >= profile.lan_queue:
-                    fates[i] = 0
-                    continue
-
-            start_service = max(now, engine_free)
-            finish = start_service + float(service_times[i])
-            engine_free = finish
-            departures[i] = finish
-            if is_in:
-                wan_backlog.append(finish)
-            else:
-                lan_backlog.append(finish)
-
+        # WAN side is the kernel's primary class: subject to maintenance
+        # stalls (blackouts) and its drops starve the game (freezes)
+        kernel = fifo_forward(
+            timestamps,
+            service_times,
+            primary_mask=directions == np.int8(Direction.IN),
+            primary_queue=profile.wan_queue,
+            secondary_queue=profile.lan_queue,
+            blackouts=stalls,
+            freeze=FreezePolicy(
+                threshold=profile.freeze_threshold,
+                window=profile.freeze_window,
+                duration=profile.freeze_duration,
+                lag=profile.freeze_lag,
+            ),
+        )
         return ForwardingResult(
-            fates=fates,
-            departures=departures,
+            fates=kernel.fates,
+            departures=kernel.departures,
             stall_windows=stalls,
-            freeze_windows=freeze_windows,
+            freeze_windows=kernel.freeze_windows,
             directions=directions.copy(),
             timestamps=timestamps.copy(),
         )

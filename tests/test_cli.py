@@ -1,8 +1,9 @@
-"""Tests for the repro-simulate CLI."""
+"""Tests for the repro-simulate CLI and the repro-experiments runner."""
 
 import pytest
 
 from repro.cli import main
+from repro.experiments import runner
 from repro.net.addresses import IPv4Address
 from repro.trace.format import load_trace
 from repro.trace.pcap import read_pcap
@@ -51,3 +52,25 @@ class TestSimulateCli:
     def test_end_beyond_week_rejected(self, tmp_path, capsys):
         out = str(tmp_path / "x.pcap")
         assert main(["--end", "99999999", "-o", out]) == 2
+
+
+class TestExperimentsList:
+    def test_list_prints_every_id_with_description(self, capsys):
+        assert runner.main(["--list"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == len(runner.REGISTRY)
+        listed = {}
+        for line in lines:
+            experiment_id, description = line.split(None, 1)
+            listed[experiment_id] = description
+        assert set(listed) == set(runner.REGISTRY)
+        # descriptions are the experiments' one-line titles, not ids
+        assert listed["facilitynet"] == runner.DESCRIPTIONS["facilitynet"]
+        assert "oversubscription" in listed["facilitynet"]
+        assert all(description.strip() for description in listed.values())
+
+    def test_list_runs_nothing(self, capsys):
+        # --list must exit before any experiment executes (fast path)
+        assert runner.main(["--list", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "reproduced within tolerance" not in out

@@ -23,8 +23,8 @@ class TestModuleContract:
             assert callable(module.run)
 
     def test_registry_count(self):
-        # 4 tables + 15 figures + 6 extension studies + fleet
-        assert len(REGISTRY) == 26
+        # 4 tables + 15 figures + 6 extension studies + fleet + facilitynet
+        assert len(REGISTRY) == 27
 
 
 class TestCheapExperimentsEndToEnd:
