@@ -9,6 +9,10 @@ Top-level layout:
 * :mod:`repro.trace` — packet records, columnar traces, pcap and compact
   formats, flow extraction;
 * :mod:`repro.stats` — binning, histograms, regression, Hurst estimators;
+* :mod:`repro.kernels` — vectorised packet-queue kernels (numpy-only):
+  the pps store-and-forward FIFO with an idle-period block-decomposition
+  fast path, and the bps tail-drop link; shared bit-identically by the
+  router device and every facility hop;
 * :mod:`repro.gameserver` — the calibrated Counter-Strike traffic model
   (session, count, and packet fidelity levels);
 * :mod:`repro.router` — pps-bound NAT device and route-cache models;
@@ -17,11 +21,13 @@ Top-level layout:
 * :mod:`repro.workloads` — named scenarios, link catalogue, web traffic;
 * :mod:`repro.fleet` — multi-server hosting-facility simulation:
   heterogeneous fleet profiles, sharded parallel execution with
-  deterministic per-server seeding, streaming k-way aggregation;
+  deterministic per-server seeding, streaming k-way aggregation, and a
+  content-addressed disk cache for per-server results
+  (``repro-experiments --cache-dir``);
 * :mod:`repro.facilitynet` — hierarchical facility network pipeline:
-  declarative rack/core/uplink topology, reusable pps/bps hop engines
-  (the FIFO kernel shared with :mod:`repro.router.device`), streaming
-  per-rack execution, and per-hop loss/latency reports;
+  declarative rack/core/uplink topology, trace-level hop engines over
+  the :mod:`repro.kernels` queue kernels, streaming per-rack execution,
+  and per-hop loss/latency reports;
 * :mod:`repro.experiments` — one module per table/figure plus the
   fleet provisioning and facility network experiments, with a CLI
   runner (``repro-experiments``, see EXPERIMENTS.md).

@@ -98,6 +98,17 @@ def run_experiments(ids: List[str], seed: int = 0) -> List[ExperimentOutput]:
     return outputs
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for options that must be a strictly positive int."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def main(argv: List[str] = None) -> int:
     """CLI entry point: run experiments and print reports."""
     parser = argparse.ArgumentParser(
@@ -112,10 +123,18 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--seed", type=int, default=0, help="master seed")
     parser.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=None,
         help="worker processes for sharded experiments (e.g. fleet); "
         "default: one per CPU, 1 forces serial",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed disk cache for per-server simulation "
+        "results (created if missing); a warm re-run replays cached "
+        "windows bit-identically instead of resimulating",
     )
     parser.add_argument(
         "--list",
@@ -127,9 +146,6 @@ def main(argv: List[str] = None) -> int:
     if args.workers is not None:
         from repro.fleet.execution import set_default_workers
 
-        if args.workers < 1:
-            print("error: --workers must be >= 1", file=sys.stderr)
-            return 2
         set_default_workers(args.workers)
 
     if args.list:
@@ -138,8 +154,19 @@ def main(argv: List[str] = None) -> int:
             print(f"{experiment_id:<{width}}  {DESCRIPTIONS[experiment_id]}")
         return 0
 
-    ids = args.experiments or list(REGISTRY)
-    outputs = run_experiments(ids, seed=args.seed)
+    cache = None
+    if args.cache_dir is not None:
+        from repro.fleet.cache import ShardCache, set_default_cache
+
+        cache = ShardCache(args.cache_dir)
+        set_default_cache(cache)
+
+    try:
+        ids = args.experiments or list(REGISTRY)
+        outputs = run_experiments(ids, seed=args.seed)
+    finally:
+        if cache is not None:
+            set_default_cache(None)
     failures = 0
     for output in outputs:
         print(output.render())
@@ -150,6 +177,8 @@ def main(argv: List[str] = None) -> int:
         f"{len(outputs) - failures}/{len(outputs)} experiments reproduced "
         "within tolerance"
     )
+    if cache is not None:
+        print(f"cache {args.cache_dir}: {cache.stats.render()}")
     return 1 if failures else 0
 
 

@@ -10,10 +10,10 @@ where loss first appears.  Four layers:
   (rack switches, core fabric, Internet uplink) with per-hop pps/bps
   capacity, buffer depth and oversubscription ratio, plus deterministic
   placement of fleet servers into racks;
-* :mod:`repro.facilitynet.hops` — reusable hop engines: the pps-bound
-  store-and-forward FIFO kernel generalised out of
-  :mod:`repro.router.device` (which now delegates to it), and a new
-  bps-bound tail-drop link model;
+* :mod:`repro.facilitynet.hops` — trace-level hop engines over the
+  shared :mod:`repro.kernels` queue kernels (the pps FIFO with its
+  vectorised idle-period fast path, and the bps tail-drop link), plus
+  compatibility re-exports of the kernel names;
 * :mod:`repro.facilitynet.pipeline` — the streaming executor: per-rack
   merged fleet windows (sharded, bounded fan-in) walked hop by hop,
   emitting per-hop loss/delay series;

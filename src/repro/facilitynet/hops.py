@@ -1,21 +1,18 @@
-"""Reusable hop engines: pps-bound forwarding and bps-bound links.
+"""Trace-level hop engines on top of the shared queueing kernels.
 
-Two queueing primitives cover every concentration point in a hosting
-facility:
+The raw packet-queue kernels live in :mod:`repro.kernels` (they are
+shared with :mod:`repro.router.device` and depend only on numpy); this
+module re-exports them for compatibility and adds the facility-facing
+layer: applying a kernel to one ingress :class:`~repro.trace.trace.Trace`
+and deriving egress traces, delays and per-bin offered-vs-carried
+:class:`~repro.gameserver.fluid.FluidSeries`.
 
-* :func:`fifo_forward` — the single-lookup-engine store-and-forward
-  kernel generalised out of :mod:`repro.router.device`: strictly
-  work-conserving FIFO by arrival with per-class finite buffers,
-  optional blackout windows on the primary class and an optional
-  starvation ("freeze") policy suppressing the secondary class.
-  :class:`repro.router.device.ForwardingEngine` delegates to this kernel
-  verbatim, so existing NAT experiments stay bit-identical (see
-  ``tests/test_device_hop_parity.py``).
-* :func:`bps_hop` / :func:`tail_drop_link` — a bps-bound tail-drop link:
-  a byte-buffered FIFO drained at a fixed wire rate, the model of an
-  oversubscribed Internet uplink.  The workload (Lindley) recursion is
-  evaluated chunk-wise with a vectorised closed form; only chunks that
-  may overflow fall back to the scalar recursion.
+Two hop flavours cover every concentration point in a hosting facility:
+
+* :func:`pps_hop` — a pps-bound store-and-forward stage (switch fabric)
+  over :func:`repro.kernels.fifo_forward`;
+* :func:`bps_hop` — a bps-bound tail-drop link (Internet uplink) over
+  :func:`repro.kernels.tail_drop_link`, counting *wire* bytes.
 
 Facility hops see the *merged* bidirectional stream of every downstream
 server — this is where fleet load first interacts with shared queues
@@ -25,240 +22,36 @@ instead of being a pure sum.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional
 
 import numpy as np
+
+# Re-exported so existing imports (`from repro.facilitynet.hops import
+# fifo_forward`) keep working after the kernels moved to repro.kernels.
+from repro.kernels.fifo import (  # noqa: F401
+    FreezePolicy,
+    KernelResult,
+    fifo_forward,
+)
+from repro.kernels.taildrop import (  # noqa: F401
+    _LINK_CHUNK,
+    _scalar_tail_drop,
+    tail_drop_link,
+)
 
 from repro.gameserver.fluid import FluidSeries
 from repro.sim.random import RandomStreams
 from repro.trace.trace import Trace
 
-#: Chunk length of the vectorised tail-drop fast path.
-_LINK_CHUNK = 4096
-
-
-@dataclass(frozen=True)
-class FreezePolicy:
-    """Starvation coupling between primary-class drops and secondary output.
-
-    When ``threshold`` primary drops land within ``window`` seconds, the
-    secondary source pauses for ``duration`` seconds starting ``lag``
-    seconds later — the paper's Fig 15 game-freeze mechanism, kept here
-    so the kernel can reproduce :mod:`repro.router.device` exactly.
-    """
-
-    threshold: int
-    window: float
-    duration: float
-    lag: float
-
-    def __post_init__(self) -> None:
-        if self.threshold < 1:
-            raise ValueError(f"freeze threshold must be >= 1: {self.threshold!r}")
-        if self.window < 0 or self.duration < 0 or self.lag < 0:
-            raise ValueError("freeze window/duration/lag must be >= 0")
-
-
-@dataclass
-class KernelResult:
-    """Raw outcome of one :func:`fifo_forward` pass.
-
-    ``fates`` has one entry per input packet: 1 forwarded, 0 dropped,
-    -1 suppressed (secondary packet inside a freeze window).
-    ``departures`` holds egress timestamps for forwarded packets, NaN
-    otherwise.
-    """
-
-    fates: np.ndarray
-    departures: np.ndarray
-    freeze_windows: List[Tuple[float, float]]
-
-
-def fifo_forward(
-    timestamps: np.ndarray,
-    service_times: np.ndarray,
-    primary_mask: Optional[np.ndarray] = None,
-    primary_queue: int = 1,
-    secondary_queue: int = 1,
-    blackouts: Sequence[Tuple[float, float]] = (),
-    freeze: Optional[FreezePolicy] = None,
-) -> KernelResult:
-    """Run the store-and-forward FIFO kernel over a time-sorted stream.
-
-    One lookup engine serves all packets in arrival order; each class
-    has its own finite buffer counted in packets (a packet occupies its
-    buffer until its service completes).  ``primary_mask`` selects the
-    class subject to ``blackouts`` (arrivals inside a blackout window
-    are dropped) and whose drops feed the optional ``freeze`` policy;
-    ``None`` treats every packet as primary — a plain single-queue
-    pps-bound hop.
-    """
-    n = int(np.asarray(timestamps).size)
-    fates = np.ones(n, dtype=np.int8)
-    departures = np.full(n, np.nan)
-    if n == 0:
-        return KernelResult(fates, departures, [])
-    if primary_queue < 1 or secondary_queue < 1:
-        raise ValueError("queue capacities must be >= 1")
-
-    all_primary = primary_mask is None
-    blackout_index = 0
-    freeze_windows: List[Tuple[float, float]] = []
-    freeze_until = -1.0
-    recent_drops: List[float] = []
-
-    engine_free = float(timestamps[0])
-    # per-class queues: service completion times of packets waiting or in
-    # service; packets whose completion <= now have left the buffer
-    primary_backlog: List[float] = []
-    secondary_backlog: List[float] = []
-
-    for i in range(n):
-        now = float(timestamps[i])
-        is_primary = all_primary or bool(primary_mask[i])
-
-        # expire finished packets from both buffers
-        while primary_backlog and primary_backlog[0] <= now:
-            primary_backlog.pop(0)
-        while secondary_backlog and secondary_backlog[0] <= now:
-            secondary_backlog.pop(0)
-
-        # secondary source frozen: the packet was never generated
-        if not is_primary and now < freeze_until:
-            fates[i] = -1
-            continue
-
-        if is_primary:
-            # advance past finished blackout windows
-            while (
-                blackout_index < len(blackouts)
-                and blackouts[blackout_index][1] <= now
-            ):
-                blackout_index += 1
-            in_blackout = (
-                blackout_index < len(blackouts)
-                and blackouts[blackout_index][0] <= now
-            )
-            if in_blackout or len(primary_backlog) >= primary_queue:
-                fates[i] = 0
-                if freeze is not None:
-                    recent_drops.append(now)
-                    cutoff = now - freeze.window
-                    while recent_drops and recent_drops[0] < cutoff:
-                        recent_drops.pop(0)
-                    if (
-                        len(recent_drops) >= freeze.threshold
-                        and now + freeze.lag >= freeze_until
-                    ):
-                        freeze_start = now + freeze.lag
-                        freeze_until = freeze_start + freeze.duration
-                        freeze_windows.append((freeze_start, freeze_until))
-                        recent_drops.clear()
-                continue
-        else:
-            if len(secondary_backlog) >= secondary_queue:
-                fates[i] = 0
-                continue
-
-        start_service = max(now, engine_free)
-        finish = start_service + float(service_times[i])
-        engine_free = finish
-        departures[i] = finish
-        if is_primary:
-            primary_backlog.append(finish)
-        else:
-            secondary_backlog.append(finish)
-
-    return KernelResult(fates, departures, freeze_windows)
-
-
-# ----------------------------------------------------------------------
-# bps-bound tail-drop link
-# ----------------------------------------------------------------------
-def _scalar_tail_drop(
-    timestamps: np.ndarray,
-    sizes: np.ndarray,
-    rate: float,
-    buffer_bytes: float,
-    fates: np.ndarray,
-    departures: np.ndarray,
-    start: int,
-    end: int,
-    backlog: float,
-    last_time: float,
-) -> Tuple[float, float]:
-    """Authoritative per-packet recursion over ``[start, end)``.
-
-    Mutates ``fates``/``departures`` in place and returns the updated
-    ``(backlog, last_time)`` queue state.  The vectorised fast path of
-    :func:`tail_drop_link` must agree with this wherever it applies.
-    """
-    for i in range(start, end):
-        now = float(timestamps[i])
-        backlog = max(0.0, backlog - rate * (now - last_time))
-        last_time = now
-        if backlog + float(sizes[i]) > buffer_bytes:
-            fates[i] = 0
-            continue
-        backlog += float(sizes[i])
-        departures[i] = now + backlog / rate
-    return backlog, last_time
-
-
-def tail_drop_link(
-    timestamps: np.ndarray,
-    wire_sizes: np.ndarray,
-    rate_bps: float,
-    buffer_bytes: float,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Push a time-sorted stream through a byte-buffered tail-drop link.
-
-    The link drains its FIFO at ``rate_bps``; an arrival that would push
-    the byte backlog (including the packet in service) past
-    ``buffer_bytes`` is dropped at the tail.  Returns ``(fates,
-    departures)`` with fates 1/0 and NaN departures for drops.
-
-    Chunks whose workload never approaches the buffer are evaluated with
-    the vectorised closed-form Lindley recursion (a prefix minimum);
-    only chunks that may overflow run the scalar recursion.
-    """
-    if rate_bps <= 0:
-        raise ValueError(f"rate_bps must be positive: {rate_bps!r}")
-    if buffer_bytes <= 0:
-        raise ValueError(f"buffer_bytes must be positive: {buffer_bytes!r}")
-    timestamps = np.asarray(timestamps, dtype=np.float64)
-    sizes = np.asarray(wire_sizes, dtype=np.float64)
-    n = timestamps.size
-    fates = np.ones(n, dtype=np.int8)
-    departures = np.full(n, np.nan)
-    if n == 0:
-        return fates, departures
-
-    rate = rate_bps / 8.0  # bytes per second
-    backlog = 0.0
-    last_time = float(timestamps[0])
-    for start in range(0, n, _LINK_CHUNK):
-        end = min(start + _LINK_CHUNK, n)
-        t = timestamps[start:end]
-        s = sizes[start:end]
-        # closed-form workload assuming no drops: the initial backlog is
-        # a virtual packet of size `backlog` arriving at `last_time`
-        t_ext = np.concatenate(([last_time], t))
-        s_ext = np.concatenate(([backlog], s))
-        cumulative = np.cumsum(s_ext)
-        base = cumulative - s_ext - rate * t_ext
-        workload = cumulative - rate * t_ext - np.minimum.accumulate(base)
-        if float(workload[1:].max(initial=0.0)) <= buffer_bytes:
-            departures[start:end] = t + workload[1:] / rate
-            backlog = float(workload[-1])
-            last_time = float(t[-1])
-            continue
-        # potential overflow: authoritative scalar recursion with drops
-        backlog, last_time = _scalar_tail_drop(
-            timestamps, sizes, rate, buffer_bytes, fates, departures,
-            start, end, backlog, last_time,
-        )
-    return fates, departures
+__all__ = [
+    "FreezePolicy",
+    "HopTraversal",
+    "KernelResult",
+    "bps_hop",
+    "fifo_forward",
+    "pps_hop",
+    "tail_drop_link",
+]
 
 
 # ----------------------------------------------------------------------
@@ -370,7 +163,8 @@ def pps_hop(
     A single forwarding engine serves the merged stream at
     ``pps_capacity`` with one finite ``queue_packets`` buffer; with
     ``service_cv > 0`` per-packet service times are lognormal-jittered
-    (seeded, reproducible), otherwise deterministic.
+    (seeded, reproducible), otherwise deterministic.  Single-class
+    traversals take the kernel's vectorised idle-period fast path.
     """
     if pps_capacity <= 0:
         raise ValueError(f"pps_capacity must be positive: {pps_capacity!r}")

@@ -27,6 +27,7 @@ import numpy as np
 from repro.facilitynet.hops import HopTraversal, bps_hop, pps_hop
 from repro.facilitynet.topology import FacilityTopology, LinkSpec, SwitchSpec
 from repro.fleet.aggregate import TraceAccumulator, kway_merge_traces
+from repro.fleet.cache import ShardCache
 from repro.fleet.execution import WindowTask, fleet_server_seed, shard_map_fold, simulate_window
 from repro.fleet.profiles import FleetProfile
 from repro.gameserver.fluid import FluidSeries
@@ -132,6 +133,7 @@ def rack_ingress_traces(
     end: float,
     workers: Optional[int] = None,
     fanin: int = 8,
+    cache: Optional[ShardCache] = None,
 ) -> Tuple[Trace, ...]:
     """Merged per-rack packet windows, one trace per rack.
 
@@ -139,7 +141,10 @@ def rack_ingress_traces(
     folded in server-index order into per-rack bounded-fan-in
     accumulators — peak memory is O(racks + fanin) per-server traces,
     never the whole fleet, and the result is bit-identical for every
-    worker count.
+    worker count.  ``cache`` (or the process default installed by
+    ``repro-experiments --cache-dir``) replays per-server windows from
+    disk, so a swept ratio or a re-run experiment skips the fleet
+    simulation entirely; cached and recomputed ingress are bit-identical.
     """
     if topology.n_servers != fleet.n_servers:
         raise ValueError(
@@ -171,7 +176,7 @@ def rack_ingress_traces(
 
     initial = ([TraceAccumulator(fanin=fanin) for _ in topology.racks], 0)
     accumulators, _ = shard_map_fold(
-        simulate_window, tasks, fold, initial, workers=workers
+        simulate_window, tasks, fold, initial, workers=workers, cache=cache
     )
     return tuple(accumulator.result() for accumulator in accumulators)
 
@@ -325,7 +330,12 @@ class FacilityPipeline:
     the fleet simulation once.
     """
 
-    def __init__(self, fleet: FleetProfile, topology: FacilityTopology) -> None:
+    def __init__(
+        self,
+        fleet: FleetProfile,
+        topology: FacilityTopology,
+        cache: Optional[ShardCache] = None,
+    ) -> None:
         if topology.n_servers != fleet.n_servers:
             raise ValueError(
                 f"topology houses {topology.n_servers} servers but the fleet "
@@ -333,6 +343,7 @@ class FacilityPipeline:
             )
         self.fleet = fleet
         self.topology = topology
+        self.cache = cache
         self._ingress: dict = {}
 
     def ingress(
@@ -342,11 +353,18 @@ class FacilityPipeline:
         workers: Optional[int] = None,
         fanin: int = 8,
     ) -> Tuple[Trace, ...]:
-        """Per-rack merged ingress for the window (cached)."""
+        """Per-rack merged ingress for the window (cached in memory, and
+        on disk when a :class:`~repro.fleet.cache.ShardCache` is wired)."""
         key = (float(start), float(end))
         if key not in self._ingress:
             self._ingress[key] = rack_ingress_traces(
-                self.fleet, self.topology, start, end, workers=workers, fanin=fanin
+                self.fleet,
+                self.topology,
+                start,
+                end,
+                workers=workers,
+                fanin=fanin,
+                cache=self.cache,
             )
         return self._ingress[key]
 

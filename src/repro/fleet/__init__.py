@@ -15,6 +15,11 @@ traffic.  This package provides the three layers:
   :class:`~repro.gameserver.fluid.FluidSeries` /
   :class:`~repro.trace.trace.Trace` without materialising all
   per-server artifacts at once;
+* :mod:`repro.fleet.cache` — :class:`ShardCache`: a content-addressed
+  disk cache for sharded per-server results, fingerprinted over task
+  dataclass fields and the :data:`repro.kernels.KERNEL_VERSION` tag, so
+  re-runs and sweeps replay windows from disk bit-identically
+  (``repro-experiments --cache-dir`` installs a process-wide default);
 
 tied together by :class:`repro.fleet.scenario.FleetScenario`, the object
 experiments hold.  Facility-level analyses (bandwidth/pps envelopes,
@@ -28,6 +33,12 @@ from repro.fleet.aggregate import (
     kway_merge_traces,
     merge_fluid_series,
     sum_fluid_series,
+)
+from repro.fleet.cache import (
+    CacheStats,
+    ShardCache,
+    resolve_cache,
+    set_default_cache,
 )
 from repro.fleet.execution import (
     SeriesTask,
@@ -45,10 +56,12 @@ from repro.fleet.profiles import FleetProfile, hosting_facility
 from repro.fleet.scenario import FleetScenario
 
 __all__ = [
+    "CacheStats",
     "FleetProfile",
     "FleetScenario",
     "FluidAccumulator",
     "SeriesTask",
+    "ShardCache",
     "TraceAccumulator",
     "WindowTask",
     "available_cpus",
@@ -56,7 +69,9 @@ __all__ = [
     "hosting_facility",
     "kway_merge_traces",
     "merge_fluid_series",
+    "resolve_cache",
     "resolve_workers",
+    "set_default_cache",
     "set_default_workers",
     "shard_map",
     "shard_map_fold",

@@ -93,6 +93,7 @@ def shard_map_fold(
     fold: Callable[[A, R], A],
     initial: A,
     workers: Optional[int] = None,
+    cache: Optional["ShardCache"] = None,
 ) -> A:
     """``fold`` over ``fn(task)`` results, strictly in task order.
 
@@ -101,18 +102,63 @@ def shard_map_fold(
     and completions are buffered until their index is next, so the fold
     order — and therefore every floating-point sum and every stable
     merge — matches the serial run exactly.
+
+    ``cache`` (or the process-wide default installed by
+    :func:`repro.fleet.cache.set_default_cache`, e.g. via the
+    ``repro-experiments --cache-dir`` flag) short-circuits ``fn`` with
+    content-addressed on-disk results: cached tasks are never submitted
+    to the pool, computed results are stored for the next run, and the
+    fold still sees exactly the serial order — warm-cache, cold-cache,
+    serial and sharded runs are all bit-identical.
     """
+    from repro.fleet.cache import resolve_cache
+
     tasks = list(tasks)
+    cache = resolve_cache(cache)
     workers = resolve_workers(workers, len(tasks))
+    keys = (
+        [cache.task_key(fn, task) for task in tasks]
+        if cache is not None
+        else [None] * len(tasks)
+    )
+
+    def compute_through_cache(index: int) -> R:
+        """Serial-path (and corrupt-entry) task evaluation."""
+        key = keys[index]
+        if key is not None:
+            hit, value = cache.fetch(key)
+            if hit:
+                return value
+        value = fn(tasks[index])
+        if key is not None:
+            cache.store(key, value)
+        return value
+
     if workers <= 1 or len(tasks) <= 1:
         accumulator = initial
-        for task in tasks:
-            accumulator = fold(accumulator, fn(task))
+        for index in range(len(tasks)):
+            accumulator = fold(accumulator, compute_through_cache(index))
         return accumulator
+
+    # indexes the pool must compute: everything not already on disk
+    # (peek, not fetch: entries are loaded lazily at fold time so peak
+    # memory stays bounded by the in-flight cap)
+    cached_indexes = {
+        index
+        for index, key in enumerate(keys)
+        if key is not None and cache.peek(key)
+    }
+    miss_indexes = [
+        index for index in range(len(tasks)) if index not in cached_indexes
+    ]
+    if cache is not None:
+        cache.stats.misses += sum(
+            1 for index in miss_indexes if keys[index] is not None
+        )
 
     accumulator = initial
     next_index = 0
-    submit_index = 0
+    submit_cursor = 0
     out_of_order: dict = {}
     # Cap in-flight work (running + buffered results) so a slow early
     # task cannot pile the other N-1 results into the buffer — this is
@@ -123,25 +169,44 @@ def shard_map_fold(
         pending: set = set()
 
         def top_up() -> None:
-            nonlocal submit_index
+            nonlocal submit_cursor
             while (
-                submit_index < len(tasks)
+                submit_cursor < len(miss_indexes)
                 and len(pending) + len(out_of_order) < max_in_flight
             ):
-                future = pool.submit(fn, tasks[submit_index])
-                index_of[future] = submit_index
+                index = miss_indexes[submit_cursor]
+                future = pool.submit(fn, tasks[index])
+                index_of[future] = index
                 pending.add(future)
-                submit_index += 1
+                submit_cursor += 1
+
+        def drain_ready() -> None:
+            """Fold everything available at ``next_index``, in order."""
+            nonlocal accumulator, next_index
+            while next_index < len(tasks):
+                if next_index in out_of_order:
+                    value = out_of_order.pop(next_index)
+                    if keys[next_index] is not None:
+                        cache.store(keys[next_index], value)
+                elif next_index in cached_indexes:
+                    hit, value = cache.fetch(keys[next_index])
+                    if not hit:  # raced away or corrupt: recompute inline
+                        value = fn(tasks[next_index])
+                        cache.store(keys[next_index], value)
+                else:
+                    break  # still running or not yet submitted
+                accumulator = fold(accumulator, value)
+                next_index += 1
 
         top_up()
+        drain_ready()
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
                 out_of_order[index_of.pop(future)] = future.result()
-            while next_index in out_of_order:
-                accumulator = fold(accumulator, out_of_order.pop(next_index))
-                next_index += 1
+            drain_ready()
             top_up()
+        drain_ready()
     return accumulator
 
 
@@ -149,10 +214,16 @@ def shard_map(
     fn: Callable[[T], R],
     tasks: Sequence[T],
     workers: Optional[int] = None,
+    cache: Optional["ShardCache"] = None,
 ) -> list:
     """All results in task order (when the caller does need them all)."""
     return shard_map_fold(
-        fn, tasks, lambda acc, result: (acc.append(result) or acc), [], workers
+        fn,
+        tasks,
+        lambda acc, result: (acc.append(result) or acc),
+        [],
+        workers,
+        cache=cache,
     )
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, Optional, Tuple
 
 from repro.fleet.aggregate import FluidAccumulator, TraceAccumulator
+from repro.fleet.cache import ShardCache, resolve_cache
 from repro.fleet.execution import (
     SeriesTask,
     WindowTask,
@@ -39,10 +40,19 @@ class FleetScenario:
     :func:`repro.fleet.execution.set_default_workers`), ``1`` forces the
     serial in-process path, ``>= 2`` shards server simulations across a
     process pool.  Results never depend on the choice.
+
+    ``cache`` follows the same rule: ``None`` uses the process default
+    (installed by ``repro-experiments --cache-dir``); an explicit
+    :class:`~repro.fleet.cache.ShardCache` replays per-server series and
+    packet windows from disk.  Cached results are bit-identical to
+    recomputed ones, so aggregates never depend on cache warmth either.
     """
 
-    def __init__(self, fleet: FleetProfile) -> None:
+    def __init__(
+        self, fleet: FleetProfile, cache: Optional[ShardCache] = None
+    ) -> None:
         self.fleet = fleet
+        self.cache = cache
         self._profiles: Optional[Tuple[ServerProfile, ...]] = None
         self._scenarios: Dict[int, Scenario] = {}
         self._aggregate_series: Optional[FluidSeries] = None
@@ -102,9 +112,11 @@ class FleetScenario:
         """
         if self._aggregate_series is None:
             accumulator = FluidAccumulator()
-            if resolve_workers(workers, self.n_servers) <= 1:
-                # serial: go through the cached per-server scenarios so
-                # iter_server_series() and the aggregate share one week
+            cache = resolve_cache(self.cache)
+            if cache is None and resolve_workers(workers, self.n_servers) <= 1:
+                # serial, uncached: go through the cached per-server
+                # scenarios so iter_server_series() and the aggregate
+                # share one week
                 for series in self.iter_server_series():
                     accumulator.add(series)
             else:
@@ -114,6 +126,7 @@ class FleetScenario:
                     lambda acc, series: acc.add(series),
                     accumulator,
                     workers=workers,
+                    cache=cache,
                 )
             self._aggregate_series = accumulator.result()
         return self._aggregate_series
@@ -139,7 +152,8 @@ class FleetScenario:
         key = (float(start), float(end))
         if key not in self._aggregate_windows:
             accumulator = TraceAccumulator(fanin=fanin)
-            if resolve_workers(workers, self.n_servers) <= 1:
+            cache = resolve_cache(self.cache)
+            if cache is None and resolve_workers(workers, self.n_servers) <= 1:
                 for index in range(self.n_servers):
                     # straight to the generator: reuse the cached
                     # population but don't retain per-server traces
@@ -162,6 +176,7 @@ class FleetScenario:
                     lambda acc, trace: acc.add(trace),
                     accumulator,
                     workers=workers,
+                    cache=cache,
                 )
             self._aggregate_windows[key] = accumulator.result()
         return self._aggregate_windows[key]

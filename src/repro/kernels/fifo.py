@@ -1,0 +1,391 @@
+"""The pps-bound store-and-forward FIFO kernel.
+
+One lookup engine serves a time-sorted packet stream in arrival order;
+each class has its own finite buffer counted in packets (a packet
+occupies its buffer until its service completes).  The kernel was
+generalised out of :mod:`repro.router.device` and now also drives every
+facility rack/core switch (:mod:`repro.facilitynet.hops`).
+
+Two implementations share the contract:
+
+* :func:`_scalar_fifo` — the authoritative per-packet loop, supporting
+  two classes, blackout windows on the primary class and the starvation
+  ("freeze") policy coupling primary drops to secondary output;
+* :func:`_vectorized_fifo` — a numpy idle-period block decomposition for
+  the plain single-class case (no classes, no blackouts, no freeze):
+  the arrival stream is segmented at points where the engine provably
+  drains, the no-drop Lindley recursion is evaluated per busy period
+  with vectorised sequential sums, and a cumulative-backlog scan finds
+  busy periods that would overflow the buffer — only those rerun the
+  scalar loop.  Its fates and departures are bit-identical to the
+  scalar kernel (pinned by ``tests/test_kernels_fifo.py``).
+
+:func:`fifo_forward` dispatches between them automatically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Busy periods at least this long use one sequential ``np.cumsum`` each;
+#: shorter ones are advanced together, one packet rank per round.
+_LONG_SEGMENT = 128
+
+
+@dataclass(frozen=True)
+class FreezePolicy:
+    """Starvation coupling between primary-class drops and secondary output.
+
+    When ``threshold`` primary drops land within ``window`` seconds, the
+    secondary source pauses for ``duration`` seconds starting ``lag``
+    seconds later — the paper's Fig 15 game-freeze mechanism, kept here
+    so the kernel can reproduce :mod:`repro.router.device` exactly.
+    """
+
+    threshold: int
+    window: float
+    duration: float
+    lag: float
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError(f"freeze threshold must be >= 1: {self.threshold!r}")
+        if self.window < 0 or self.duration < 0 or self.lag < 0:
+            raise ValueError("freeze window/duration/lag must be >= 0")
+
+
+@dataclass
+class KernelResult:
+    """Raw outcome of one :func:`fifo_forward` pass.
+
+    ``fates`` has one entry per input packet: 1 forwarded, 0 dropped,
+    -1 suppressed (secondary packet inside a freeze window).
+    ``departures`` holds egress timestamps for forwarded packets, NaN
+    otherwise.
+    """
+
+    fates: np.ndarray
+    departures: np.ndarray
+    freeze_windows: List[Tuple[float, float]]
+
+
+def fifo_forward(
+    timestamps: np.ndarray,
+    service_times: np.ndarray,
+    primary_mask: Optional[np.ndarray] = None,
+    primary_queue: int = 1,
+    secondary_queue: int = 1,
+    blackouts: Sequence[Tuple[float, float]] = (),
+    freeze: Optional[FreezePolicy] = None,
+) -> KernelResult:
+    """Run the store-and-forward FIFO kernel over a time-sorted stream.
+
+    One lookup engine serves all packets in arrival order; each class
+    has its own finite buffer counted in packets (a packet occupies its
+    buffer until its service completes).  ``primary_mask`` selects the
+    class subject to ``blackouts`` (arrivals inside a blackout window
+    are dropped) and whose drops feed the optional ``freeze`` policy;
+    ``None`` treats every packet as primary — a plain single-queue
+    pps-bound hop, which dispatches to the vectorised idle-period fast
+    path (bit-identical to the scalar loop).
+    """
+    n = int(np.asarray(timestamps).size)
+    fates = np.ones(n, dtype=np.int8)
+    departures = np.full(n, np.nan)
+    if n == 0:
+        return KernelResult(fates, departures, [])
+    if primary_queue < 1 or secondary_queue < 1:
+        raise ValueError("queue capacities must be >= 1")
+
+    if primary_mask is None and freeze is None and len(blackouts) == 0:
+        t = np.ascontiguousarray(timestamps, dtype=np.float64)
+        s = np.ascontiguousarray(service_times, dtype=np.float64)
+        # the fast path assumes a sorted stream and sane services; any
+        # violation (or NaN) falls back to the authoritative loop
+        if (
+            s.size == n
+            and bool(np.all(s >= 0.0))
+            and bool(np.all(t[1:] >= t[:-1]))
+        ):
+            _vectorized_fifo(t, s, primary_queue, fates, departures)
+            return KernelResult(fates, departures, [])
+
+    freeze_windows = _scalar_fifo(
+        timestamps,
+        service_times,
+        primary_mask,
+        primary_queue,
+        secondary_queue,
+        blackouts,
+        freeze,
+        fates,
+        departures,
+    )
+    return KernelResult(fates, departures, freeze_windows)
+
+
+# ----------------------------------------------------------------------
+# authoritative scalar kernel
+# ----------------------------------------------------------------------
+def _scalar_fifo(
+    timestamps: np.ndarray,
+    service_times: np.ndarray,
+    primary_mask: Optional[np.ndarray],
+    primary_queue: int,
+    secondary_queue: int,
+    blackouts: Sequence[Tuple[float, float]],
+    freeze: Optional[FreezePolicy],
+    fates: np.ndarray,
+    departures: np.ndarray,
+) -> List[Tuple[float, float]]:
+    """Per-packet reference loop; mutates ``fates``/``departures``."""
+    n = int(np.asarray(timestamps).size)
+    all_primary = primary_mask is None
+    blackout_index = 0
+    freeze_windows: List[Tuple[float, float]] = []
+    freeze_until = -1.0
+    recent_drops: Deque[float] = deque()
+
+    engine_free = float(timestamps[0])
+    # per-class queues: service completion times of packets waiting or in
+    # service; packets whose completion <= now have left the buffer
+    primary_backlog: Deque[float] = deque()
+    secondary_backlog: Deque[float] = deque()
+
+    for i in range(n):
+        now = float(timestamps[i])
+        is_primary = all_primary or bool(primary_mask[i])
+
+        # expire finished packets from both buffers
+        while primary_backlog and primary_backlog[0] <= now:
+            primary_backlog.popleft()
+        while secondary_backlog and secondary_backlog[0] <= now:
+            secondary_backlog.popleft()
+
+        # secondary source frozen: the packet was never generated
+        if not is_primary and now < freeze_until:
+            fates[i] = -1
+            continue
+
+        if is_primary:
+            # advance past finished blackout windows
+            while (
+                blackout_index < len(blackouts)
+                and blackouts[blackout_index][1] <= now
+            ):
+                blackout_index += 1
+            in_blackout = (
+                blackout_index < len(blackouts)
+                and blackouts[blackout_index][0] <= now
+            )
+            if in_blackout or len(primary_backlog) >= primary_queue:
+                fates[i] = 0
+                if freeze is not None:
+                    recent_drops.append(now)
+                    cutoff = now - freeze.window
+                    while recent_drops and recent_drops[0] < cutoff:
+                        recent_drops.popleft()
+                    if (
+                        len(recent_drops) >= freeze.threshold
+                        and now + freeze.lag >= freeze_until
+                    ):
+                        freeze_start = now + freeze.lag
+                        freeze_until = freeze_start + freeze.duration
+                        freeze_windows.append((freeze_start, freeze_until))
+                        recent_drops.clear()
+                continue
+        else:
+            if len(secondary_backlog) >= secondary_queue:
+                fates[i] = 0
+                continue
+
+        start_service = max(now, engine_free)
+        finish = start_service + float(service_times[i])
+        engine_free = finish
+        departures[i] = finish
+        if is_primary:
+            primary_backlog.append(finish)
+        else:
+            secondary_backlog.append(finish)
+
+    return freeze_windows
+
+
+def _scalar_span(
+    timestamps: np.ndarray,
+    service_times: np.ndarray,
+    queue: int,
+    fates: np.ndarray,
+    departures: np.ndarray,
+    start: int,
+    end: int,
+    engine_free: float,
+    backlog: Deque[float],
+) -> Tuple[float, Deque[float]]:
+    """Single-class scalar recursion over ``[start, end)``.
+
+    The drop-handling fallback of the vectorised fast path: identical
+    float arithmetic to :func:`_scalar_fifo` with ``primary_mask=None``,
+    seeded with explicit queue state so it can resume mid-stream.
+    """
+    for i in range(start, end):
+        now = float(timestamps[i])
+        while backlog and backlog[0] <= now:
+            backlog.popleft()
+        if len(backlog) >= queue:
+            fates[i] = 0
+            continue
+        start_service = max(now, engine_free)
+        finish = start_service + float(service_times[i])
+        engine_free = finish
+        departures[i] = finish
+        backlog.append(finish)
+    return engine_free, backlog
+
+
+# ----------------------------------------------------------------------
+# vectorised idle-period block decomposition
+# ----------------------------------------------------------------------
+def _exact_busy_finishes(
+    t: np.ndarray,
+    s: np.ndarray,
+    starts: np.ndarray,
+    bounds: np.ndarray,
+) -> np.ndarray:
+    """No-drop finish times with the scalar loop's exact float rounding.
+
+    Within a busy period the scalar recursion is a left-to-right sum
+    ``F[i] = F[i-1] + s[i]`` seeded with ``t[a] + s[a]``; ``np.cumsum``
+    (ufunc ``accumulate``) performs exactly those additions.  Long busy
+    periods get one ``cumsum`` each; the (typically many) short ones are
+    advanced together, one packet rank per round, so the Python-level
+    work is O(long segments + max short length), not O(busy periods).
+    """
+    n = t.size
+    finishes = np.empty(n)
+    finishes[starts] = t[starts] + s[starts]
+    seg_len = np.diff(bounds)
+
+    long_segments = np.flatnonzero(seg_len >= _LONG_SEGMENT)
+    for j in long_segments:
+        a, b = int(bounds[j]), int(bounds[j + 1])
+        finishes[a:b] = np.cumsum(
+            np.concatenate((finishes[a : a + 1], s[a + 1 : b]))
+        )
+
+    short = np.flatnonzero((seg_len > 1) & (seg_len < _LONG_SEGMENT))
+    if short.size:
+        order = np.argsort(seg_len[short], kind="stable")
+        lengths = seg_len[short][order]
+        heads = starts[short][order[::-1]]  # longest first
+        for rank in range(1, int(lengths[-1])):
+            alive = lengths.size - int(
+                np.searchsorted(lengths, rank, side="right")
+            )
+            index = heads[:alive] + rank
+            finishes[index] = finishes[index - 1] + s[index]
+    return finishes
+
+
+def _vectorized_fifo(
+    t: np.ndarray,
+    s: np.ndarray,
+    queue: int,
+    fates: np.ndarray,
+    departures: np.ndarray,
+) -> None:
+    """Idle-period fast path for the plain single-class FIFO.
+
+    Mirrors the tail-drop link's fast path one level up: candidate busy
+    periods come from the closed-form no-drop workload, exact finish
+    times are recomputed per busy period with the scalar loop's own
+    addition order, and a cumulative-backlog scan flags busy periods
+    whose queue would overflow — only those rerun the scalar recursion.
+    All float comparisons below are exact, so every output bit matches
+    :func:`_scalar_fifo`.
+    """
+    n = t.size
+    # closed-form no-drop finishes (different summation order than the
+    # scalar loop, so they only *locate* candidate busy periods):
+    # F̂[i] = C[i] + max_{j<=i} (t[j] - C[j-1]) with C = cumsum(s)
+    cum = np.cumsum(s)
+    f_hat = cum + np.maximum.accumulate(t - (cum - s))
+    is_start = np.empty(n, dtype=bool)
+    is_start[0] = True
+    np.less_equal(f_hat[:-1], t[1:], out=is_start[1:])
+    starts = np.flatnonzero(is_start)
+    bounds = np.append(starts, n)
+
+    finishes = _exact_busy_finishes(t, s, starts, bounds)
+
+    # The decomposition is valid iff, in exact arithmetic, the engine
+    # stays busy inside each candidate busy period and drains at each
+    # boundary.  The closed form can disagree with the sequential sums
+    # by an ulp near razor-thin idle gaps; any disagreement (or a
+    # non-monotone finish sequence, which would break the backlog scan's
+    # binary search) falls back to the scalar loop outright.
+    interior_idle = np.any((~is_start[1:]) & (finishes[:-1] < t[1:]))
+    boundary_busy = np.any(finishes[starts[1:] - 1] > t[starts[1:]])
+    if (
+        interior_idle
+        or boundary_busy
+        or bool(np.any(np.diff(finishes) < 0.0))
+    ):
+        _scalar_span(
+            t, s, queue, fates, departures, 0, n, float(t[0]), deque()
+        )
+        return
+
+    # cumulative-backlog scan: packets in system when packet i arrives =
+    # i minus the admitted packets already departed (finish <= t[i]).
+    # Every earlier busy period has drained, so one global searchsorted
+    # counts them.  Packets j >= i tied at finish == t[i] can only push
+    # the count *past* i (occupancy below 0), never up to `queue`, so
+    # the raw difference is safe to compare.  A busy period of length L
+    # can back up at most L - 1 packets, so a buffer at least as deep as
+    # the longest busy period can never overflow — skip the scan.
+    if int(np.diff(bounds).max()) <= queue:
+        departures[:] = finishes
+        return
+    overflow = (
+        np.arange(n) - np.searchsorted(finishes, t, side="right") >= queue
+    )
+    if not overflow.any():
+        departures[:] = finishes
+        return
+
+    departures[:] = finishes
+    seg_of = np.cumsum(is_start) - 1
+    dirty = np.unique(seg_of[overflow])
+    processed_until = 0
+    for j in dirty:
+        j = int(j)
+        if int(bounds[j]) < processed_until:
+            continue  # swallowed by the previous chain
+        a, b = int(bounds[j]), int(bounds[j + 1])
+        engine_free: float = float(t[a])
+        backlog: Deque[float] = deque()
+        while True:
+            departures[a:b] = np.nan
+            fates[a:b] = 1
+            engine_free, backlog = _scalar_span(
+                t, s, queue, fates, departures, a, b, engine_free, backlog
+            )
+            if b >= n:
+                break
+            boundary = float(t[b])
+            while backlog and backlog[0] <= boundary:
+                backlog.popleft()
+            if not backlog and engine_free <= boundary:
+                break  # drained exactly: downstream busy periods stand
+            # residual work leaks past the candidate boundary (possible
+            # only through ulp-level ties): keep the scalar recursion
+            # going through the next busy period (b < n, so j + 1 is a
+            # valid segment and bounds[j + 2] exists)
+            j += 1
+            a, b = b, int(bounds[j + 1])
+        processed_until = b

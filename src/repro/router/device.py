@@ -23,10 +23,11 @@ The engine is strictly work-conserving FIFO by arrival (the lookup unit
 processes packets in arrival order regardless of side), with per-side
 buffer accounting — the architecture of low-end devices of the era.
 
-The FIFO core lives in :func:`repro.facilitynet.hops.fifo_forward` (the
-same kernel drives facility rack/core switches); this module keeps the
-SMC-specific parts — stall drawing, freeze policy, per-side accounting —
-and must stay bit-identical to the pre-refactor engine (see
+The FIFO core lives in :func:`repro.kernels.fifo_forward` (the same
+kernel drives facility rack/core switches via
+:mod:`repro.facilitynet.hops`); this module keeps the SMC-specific
+parts — stall drawing, freeze policy, per-side accounting — and must
+stay bit-identical to the pre-refactor engine (see
 ``tests/test_device_hop_parity.py``).
 """
 
@@ -37,7 +38,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.facilitynet.hops import FreezePolicy, fifo_forward
+from repro.kernels import FreezePolicy, fifo_forward
 from repro.sim.random import RandomStreams
 from repro.trace.packet import Direction
 from repro.trace.trace import Trace

@@ -54,6 +54,85 @@ class TestSimulateCli:
         assert main(["--end", "99999999", "-o", out]) == 2
 
 
+class TestExperimentsWorkersFlag:
+    @pytest.mark.parametrize("value", ["0", "-1", "-8"])
+    def test_non_positive_workers_is_a_clean_argparse_error(self, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["--workers", value, "table1"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--workers" in err
+        assert "must be >= 1" in err
+        assert "Traceback" not in err
+
+    def test_non_integer_workers_is_a_clean_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["--workers", "two", "table1"])
+        assert excinfo.value.code == 2
+        assert "invalid" in capsys.readouterr().err
+
+
+class TestExperimentsCacheDir:
+    @staticmethod
+    def _fake_experiment(tmp_path, monkeypatch):
+        """Register a tiny sharded experiment that exercises the cache."""
+        from dataclasses import dataclass
+
+        from repro.core.report import ComparisonRow
+        from repro.experiments.base import ExperimentOutput
+        from repro.fleet.execution import shard_map
+
+        @dataclass(frozen=True)
+        class _Task:
+            value: int
+
+        def _evaluate(task):
+            return task.value * task.value
+
+        def run(seed: int = 0):
+            results = shard_map(_evaluate, [_Task(i) for i in range(3)], workers=1)
+            return ExperimentOutput(
+                experiment_id="faketask",
+                title="fake sharded probe",
+                rows=[ComparisonRow("sum of squares", 5.0, float(sum(results)))],
+            )
+
+        monkeypatch.setitem(runner.REGISTRY, "faketask", run)
+        monkeypatch.setitem(runner.DESCRIPTIONS, "faketask", "fake sharded probe")
+        # _Task/_evaluate must stay importable for task_key fingerprinting
+        return run
+
+    def test_cache_dir_cold_then_warm(self, tmp_path, monkeypatch, capsys):
+        self._fake_experiment(tmp_path, monkeypatch)
+        cache_dir = str(tmp_path / "cache")
+
+        code = runner.main(["faketask", "--cache-dir", cache_dir])
+        assert code == 0
+        cold = capsys.readouterr().out
+        assert f"cache {cache_dir}: 0 hits, 3 misses, 3 stored" in cold
+
+        code = runner.main(["faketask", "--cache-dir", cache_dir])
+        assert code == 0
+        warm = capsys.readouterr().out
+        assert f"cache {cache_dir}: 3 hits, 0 misses, 0 stored" in warm
+        # the reported measurement must not depend on cache warmth
+        assert [line for line in cold.splitlines() if "sum of squares" in line] == [
+            line for line in warm.splitlines() if "sum of squares" in line
+        ]
+
+    def test_cache_dir_default_is_reset_after_run(self, tmp_path, monkeypatch):
+        from repro.fleet.cache import resolve_cache
+
+        self._fake_experiment(tmp_path, monkeypatch)
+        runner.main(["faketask", "--cache-dir", str(tmp_path / "cache")])
+        assert resolve_cache(None) is None
+
+    def test_no_cache_line_without_flag(self, tmp_path, monkeypatch, capsys):
+        self._fake_experiment(tmp_path, monkeypatch)
+        assert runner.main(["faketask"]) == 0
+        assert "cache " not in capsys.readouterr().out
+
+
 class TestExperimentsList:
     def test_list_prints_every_id_with_description(self, capsys):
         assert runner.main(["--list"]) == 0

@@ -55,5 +55,10 @@ class TestRunnerWorkersFlag:
             set_default_workers(None)
 
     def test_workers_flag_rejects_nonpositive(self, capsys):
-        assert runner.main(["--workers", "0", "--list"]) == 2
+        # argparse-level validation: clean usage error, exit code 2
+        import pytest
+
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["--workers", "0", "--list"])
+        assert excinfo.value.code == 2
         assert "error" in capsys.readouterr().err
