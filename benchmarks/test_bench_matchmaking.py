@@ -1,0 +1,100 @@
+"""Bench: matchmaking epoch loop at 10^5 players, cached vs uncached traffic.
+
+Two costs matter for the closed loop at scale: the epoch engine itself
+(pool draws + chronological admission — pure Python over vectorised
+draws), and the per-server traffic synthesis over the resulting
+assignments (the sharded, cacheable stage).  The first bench pushes a
+100 000-player pool through a 32-server facility and reports epoch-loop
+throughput; the second pair times facility aggregation over one
+assignment cold (simulated) and warm (replayed from a
+:class:`~repro.fleet.cache.ShardCache`), asserting the replay is
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fleet.cache import ShardCache
+from repro.fleet.profiles import hosting_facility
+from repro.fleet.scenario import FleetScenario
+from repro.matchmaking import PoolConfig, simulate_matchmaking
+
+#: The headline pool: 10^5 players sharing one facility.
+POOL_SIZE = 100_000
+#: Servers in the big-pool facility.
+BIG_FLEET_SERVERS = 32
+#: Epoch-loop horizon for the throughput bench (30 epochs).
+BIG_HORIZON_S = 1800.0
+
+#: Smaller facility for the cached-vs-uncached aggregation pair.
+CACHE_SERVERS = 8
+CACHE_HORIZON_S = 1800.0
+
+
+def big_pool_run():
+    fleet = hosting_facility(
+        n_servers=BIG_FLEET_SERVERS, duration=BIG_HORIZON_S, seed=0
+    )
+    config = PoolConfig.for_fleet(
+        fleet,
+        pool_size=POOL_SIZE,
+        demand_ratio=2.0,
+        epoch_length=60.0,
+        session_duration_mean=300.0,
+    )
+    return simulate_matchmaking(fleet, "least_loaded", config)
+
+
+def test_bench_epoch_loop_at_1e5_players(benchmark):
+    """Epoch-loop throughput: 10^5 players x 30 epochs, 32 servers."""
+    result = benchmark.pedantic(big_pool_run, rounds=1, iterations=1)
+    assert result.config.pool_size == POOL_SIZE
+    assert result.admission.admitted > 0
+    assert np.all(
+        result.occupancy <= np.asarray(result.capacities)[:, None]
+    )
+    # saturating demand must actually exercise the admission path
+    assert result.admission.rejected > 0
+
+
+@pytest.fixture(scope="module")
+def cache_assignment():
+    fleet = hosting_facility(
+        n_servers=CACHE_SERVERS, duration=CACHE_HORIZON_S, seed=1
+    )
+    config = PoolConfig.for_fleet(fleet, demand_ratio=1.5, epoch_length=60.0)
+    return simulate_matchmaking(fleet, "least_loaded", config)
+
+
+def test_bench_assigned_traffic_uncached(benchmark, cache_assignment):
+    """Cold facility aggregation: every per-server series simulated."""
+    series = benchmark.pedantic(
+        lambda: FleetScenario.from_matchmaking(
+            cache_assignment
+        ).aggregate_per_second(workers=1),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(series) == int(CACHE_HORIZON_S)
+
+
+def test_bench_assigned_traffic_cached(benchmark, cache_assignment, tmp_path):
+    """Warm facility aggregation: per-server series replayed from disk."""
+    cold_cache = ShardCache(tmp_path / "shards")
+    cold = FleetScenario.from_matchmaking(
+        cache_assignment, cache=cold_cache
+    ).aggregate_per_second(workers=1)
+    assert cold_cache.stats.stores == CACHE_SERVERS
+
+    def warm_run():
+        return FleetScenario.from_matchmaking(
+            cache_assignment, cache=ShardCache(tmp_path / "shards")
+        ).aggregate_per_second(workers=1)
+
+    warm = benchmark.pedantic(warm_run, rounds=1, iterations=1)
+    assert all(
+        np.array_equal(getattr(cold, name), getattr(warm, name))
+        for name in ("in_counts", "out_counts", "in_bytes", "out_bytes")
+    )

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Matchmaking policy study: the same players, four placement rules.
+
+The paper's busy server stayed pinned at 22 players because its player
+pool refilled every churned slot — and refused 8000+ connections doing
+it.  At facility scale that feedback belongs to the *matchmaker*: this
+study feeds one shared, diurnally modulated player pool through each of
+the four server-selection policies and shows how placement alone moves
+rejection, occupancy and uplink burstiness.
+
+Usage::
+
+    python examples/matchmaking_policies.py
+"""
+
+from repro.core import FacilityEnvelope, policy_multiplexing_gain
+from repro.fleet import FleetScenario, hosting_facility
+from repro.matchmaking import POLICIES, PoolConfig, simulate_matchmaking
+
+N_SERVERS = 6
+HORIZON_S = 3600.0  # one busy hour
+DEMAND_RATIO = 1.5  # offered load over capacity: saturating
+
+
+def main() -> None:
+    fleet = hosting_facility(n_servers=N_SERVERS, duration=HORIZON_S, seed=0)
+    config = PoolConfig.for_fleet(
+        fleet, demand_ratio=DEMAND_RATIO, epoch_length=60.0
+    )
+    slots = sum(p.max_players for p in fleet.server_profiles())
+    print(
+        f"{N_SERVERS}-server facility ({slots} slots), shared pool of "
+        f"{config.pool_size} players at demand ratio {DEMAND_RATIO}\n"
+    )
+
+    envelopes = {}
+    for name in POLICIES:
+        result = simulate_matchmaking(fleet, name, config)
+        stats = result.occupancy_stats()
+        # same per-server traffic seeds for every policy: aggregates
+        # differ only through placement (common random numbers)
+        aggregate = FleetScenario.from_matchmaking(result).aggregate_per_second(
+            workers=1
+        )
+        envelopes[name] = FacilityEnvelope.from_series(aggregate)
+        print(result.describe())
+        print(
+            f"                occupancy p50 {stats.quantile(0.5):2d} slots, "
+            f"servers full {stats.full_fraction:5.1%} of epochs, "
+            f"facility full {stats.facility_full_fraction:5.1%}"
+        )
+        print(
+            f"                uplink peak "
+            f"{envelopes[name].peak_bandwidth_bps / 1e6:5.2f} Mbps "
+            f"({envelopes[name].peak_to_mean_pps:.2f}x mean pps)"
+        )
+
+    print("\nplacement vs burstiness (gain over random placement)")
+    reference = envelopes["random"]
+    for name, envelope in envelopes.items():
+        gain = policy_multiplexing_gain(reference, envelope)
+        print(f"  {name:<14} {gain:6.3f}x")
+    print(
+        "\nLoad-aware policies keep every slot refilled (the endogenous "
+        "loop), so the facility earns its provisioned peak; random "
+        "placement strands capacity behind full servers while players "
+        "balk."
+    )
+
+
+if __name__ == "__main__":
+    main()

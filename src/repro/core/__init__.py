@@ -8,10 +8,13 @@ the same pipelines run on synthetic traffic or parsed pcaps.
 """
 
 from repro.core.facility import (
+    AdmissionStats,
     FacilityAnalysis,
     FacilityEnvelope,
     MultiplexingGain,
+    OccupancyStats,
     oversubscribed_capacity,
+    policy_multiplexing_gain,
 )
 from repro.core.interarrival import InterarrivalAnalysis
 from repro.core.natanalysis import NatAnalysis, NatFlowSeries
@@ -54,6 +57,7 @@ from repro.core.summary import GeneralTraceInfo, NetworkUsage
 from repro.core.timeseries import RateSeries, interval_counts, packet_load_series
 
 __all__ = [
+    "AdmissionStats",
     "CapacityPlan",
     "ClientBandwidthAnalysis",
     "ComparisonRow",
@@ -74,6 +78,7 @@ __all__ = [
     "NatAnalysis",
     "NatFlowSeries",
     "NetworkUsage",
+    "OccupancyStats",
     "PacketSizeAnalysis",
     "PerPlayerModel",
     "PeriodicityAnalysis",
@@ -88,6 +93,7 @@ __all__ = [
     "format_value",
     "match_expected_dips",
     "oversubscribed_capacity",
+    "policy_multiplexing_gain",
     "regenerate",
     "validate_model",
     "interval_counts",

@@ -119,6 +119,117 @@ class MultiplexingGain:
         return self.sum_of_peaks_bps / self.aggregate_peak_bps
 
 
+@dataclass(frozen=True)
+class AdmissionStats:
+    """Facility-level admission accounting (matchmaker or slot tables).
+
+    Generation-agnostic counters: ``attempts`` splits into ``admitted``
+    and ``rejected``; every rejection either ``retried`` (admission
+    control scheduled a re-attempt) or ``balked`` (the player returned
+    to the idle pool).
+    """
+
+    attempts: int
+    admitted: int
+    rejected: int
+    balked: int = 0
+    retried: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.attempts, self.admitted, self.rejected) < 0 or (
+            min(self.balked, self.retried) < 0
+        ):
+            raise ValueError("admission counters must be non-negative")
+        if self.admitted + self.rejected != self.attempts:
+            raise ValueError(
+                f"admitted ({self.admitted}) + rejected ({self.rejected}) "
+                f"must equal attempts ({self.attempts})"
+            )
+        if self.balked + self.retried != self.rejected:
+            raise ValueError(
+                f"balked ({self.balked}) + retried ({self.retried}) "
+                f"must equal rejected ({self.rejected})"
+            )
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of attempts refused."""
+        return self.rejected / self.attempts if self.attempts else 0.0
+
+    @property
+    def retry_rate(self) -> float:
+        """Fraction of rejections that scheduled a retry."""
+        return self.retried / self.rejected if self.rejected else 0.0
+
+
+@dataclass(frozen=True)
+class OccupancyStats:
+    """Occupancy distribution of a fleet over epochs.
+
+    Built from an ``(n_servers, n_epochs)`` matrix of instantaneous
+    player counts (e.g. :attr:`repro.matchmaking.MatchmakingResult.occupancy`)
+    plus per-server capacities.  ``distribution[k]`` is the fraction of
+    server-epochs spent at exactly ``k`` occupied slots.
+    """
+
+    mean_occupancy: float
+    utilization: float
+    full_fraction: float
+    facility_full_fraction: float
+    distribution: np.ndarray
+
+    @classmethod
+    def from_occupancy(
+        cls, occupancy: np.ndarray, capacities: np.ndarray
+    ) -> "OccupancyStats":
+        """Summarise an ``(n_servers, n_epochs)`` occupancy matrix."""
+        occupancy = np.asarray(occupancy, dtype=np.int64)
+        capacities = np.asarray(capacities, dtype=np.int64)
+        if occupancy.ndim != 2 or occupancy.shape[0] != capacities.size:
+            raise ValueError(
+                f"occupancy {occupancy.shape} does not match "
+                f"{capacities.size} capacities"
+            )
+        if np.any(occupancy < 0):
+            raise ValueError("occupancy counts must be non-negative")
+        full = occupancy >= capacities[:, None]
+        counts = np.bincount(
+            occupancy.ravel(), minlength=int(capacities.max()) + 1
+        )
+        return cls(
+            mean_occupancy=float(occupancy.mean()),
+            utilization=float(
+                occupancy.sum() / (capacities.sum() * occupancy.shape[1])
+            ),
+            full_fraction=float(full.mean()),
+            facility_full_fraction=float(full.all(axis=0).mean()),
+            distribution=counts / occupancy.size,
+        )
+
+    def quantile(self, q: float) -> int:
+        """Smallest occupancy level holding at least fraction ``q`` below it."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must lie in [0, 1]: {q!r}")
+        return int(np.searchsorted(np.cumsum(self.distribution), q))
+
+
+def policy_multiplexing_gain(
+    reference: FacilityEnvelope, candidate: FacilityEnvelope
+) -> float:
+    """Burstiness improvement of ``candidate`` placement over ``reference``.
+
+    The policy-vs-policy analogue of :class:`MultiplexingGain`: both
+    envelopes see the same demand process, so the ratio of their
+    peak-to-mean pps isolates what the *placement* policy did to the
+    facility's burstiness.  Values above 1 mean the candidate policy
+    (say ``least_loaded``) produced a smoother aggregate than the
+    reference (say ``random``); below 1, a burstier one.
+    """
+    if candidate.peak_to_mean_pps <= 0:
+        return 1.0
+    return reference.peak_to_mean_pps / candidate.peak_to_mean_pps
+
+
 class FacilityAnalysis:
     """Streaming fleet-level load analysis.
 

@@ -29,6 +29,7 @@ from repro.core.report import ComparisonRow
 from repro.experiments.base import ExperimentOutput
 from repro.fleet.profiles import hosting_facility
 from repro.fleet.scenario import FleetScenario
+from repro.gameserver.fluid import fluid_series_equal
 from repro.stats.regression import fit_line
 
 EXPERIMENT_ID = "fleet"
@@ -39,13 +40,6 @@ HORIZON_S = 7200.0
 PACKET_WINDOW = (3600.0, 3660.0)
 #: Worker count of the parallel verification run (>= 2 exercises the pool).
 VERIFY_WORKERS = 2
-
-
-def _series_equal(a, b) -> bool:
-    return all(
-        np.array_equal(getattr(a, name), getattr(b, name))
-        for name in ("in_counts", "out_counts", "in_bytes", "out_bytes")
-    )
 
 
 def run(seed: int = 0) -> ExperimentOutput:
@@ -67,7 +61,7 @@ def run(seed: int = 0) -> ExperimentOutput:
     parallel_aggregate = FleetScenario(fleet).aggregate_per_second(
         workers=VERIFY_WORKERS
     )
-    identical = _series_equal(serial_aggregate, parallel_aggregate)
+    identical = fluid_series_equal(serial_aggregate, parallel_aggregate)
 
     # packet-level cross-check of the count-level aggregate
     window = scenario.aggregate_packet_window(*PACKET_WINDOW, workers=1)

@@ -9,7 +9,9 @@ table and figure in the paper's evaluation.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List
 
 from repro.experiments import (
@@ -35,6 +37,7 @@ from repro.experiments import (
     fig15,
     fleet,
     linearity,
+    matchmaking,
     sourcemodel,
     table1,
     table2,
@@ -72,6 +75,7 @@ _MODULES = (
     sourcemodel,
     fleet,
     facilitynet,
+    matchmaking,
 )
 
 #: All experiments in paper order.
@@ -83,6 +87,9 @@ REGISTRY: Dict[str, Callable[[int], ExperimentOutput]] = {
 DESCRIPTIONS: Dict[str, str] = {
     module.EXPERIMENT_ID: module.TITLE for module in _MODULES
 }
+
+#: Server-selection policies ``--policy`` accepts (matchmaking experiment).
+_POLICY_CHOICES = matchmaking.POLICIES
 
 
 def run_experiments(ids: List[str], seed: int = 0) -> List[ExperimentOutput]:
@@ -109,6 +116,36 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _cache_dir(text: str) -> str:
+    """argparse type for ``--cache-dir``: usable now or creatable.
+
+    Rejects paths whose parent does not exist and paths that exist but
+    are not writable directories, so a long experiment run fails at
+    argument parsing (exit 2) instead of at its first cache store.
+    """
+    path = Path(text)
+    if path.exists():
+        if not path.is_dir():
+            raise argparse.ArgumentTypeError(
+                f"{text!r} exists and is not a directory"
+            )
+        if not os.access(path, os.W_OK):
+            raise argparse.ArgumentTypeError(f"{text!r} is not writable")
+        return text
+    parent = path.parent if str(path.parent) else Path(".")
+    if not parent.is_dir():
+        raise argparse.ArgumentTypeError(
+            f"parent directory {str(parent)!r} does not exist "
+            "(create it first, or check the path for typos)"
+        )
+    if not os.access(parent, os.W_OK):
+        raise argparse.ArgumentTypeError(
+            f"cannot create {text!r}: parent directory "
+            f"{str(parent)!r} is not writable"
+        )
+    return text
+
+
 def main(argv: List[str] = None) -> int:
     """CLI entry point: run experiments and print reports."""
     parser = argparse.ArgumentParser(
@@ -130,11 +167,28 @@ def main(argv: List[str] = None) -> int:
     )
     parser.add_argument(
         "--cache-dir",
+        type=_cache_dir,
         default=None,
         metavar="DIR",
         help="content-addressed disk cache for per-server simulation "
-        "results (created if missing); a warm re-run replays cached "
-        "windows bit-identically instead of resimulating",
+        "results (created if missing; the parent must exist and be "
+        "writable); a warm re-run replays cached windows bit-identically "
+        "instead of resimulating",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=sorted(_POLICY_CHOICES),
+        default=None,
+        help="restrict the matchmaking experiment to one server-selection "
+        "policy (default: compare all four)",
+    )
+    parser.add_argument(
+        "--pool-size",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="shared player-pool size for the matchmaking experiment "
+        "(default: five players per facility slot)",
     )
     parser.add_argument(
         "--list",
@@ -160,13 +214,27 @@ def main(argv: List[str] = None) -> int:
 
         cache = ShardCache(args.cache_dir)
         set_default_cache(cache)
+    if args.policy is not None:
+        matchmaking.set_default_policy(args.policy)
+    if args.pool_size is not None:
+        matchmaking.set_default_pool_size(args.pool_size)
 
     try:
         ids = args.experiments or list(REGISTRY)
         outputs = run_experiments(ids, seed=args.seed)
+    except ValueError as error:
+        # feasibility of --pool-size depends on the (seed-derived)
+        # facility's slot count, so it can only be judged at run time;
+        # still surface it as a clean CLI error, not a traceback
+        if args.pool_size is None or "pool_size" not in str(error):
+            raise
+        print(f"error: --pool-size: {error}", file=sys.stderr)
+        return 2
     finally:
         if cache is not None:
             set_default_cache(None)
+        matchmaking.set_default_policy(None)
+        matchmaking.set_default_pool_size(None)
     failures = 0
     for output in outputs:
         print(output.render())
@@ -178,7 +246,9 @@ def main(argv: List[str] = None) -> int:
         "within tolerance"
     )
     if cache is not None:
-        print(f"cache {args.cache_dir}: {cache.stats.render()}")
+        # stats only make sense when a cache dir is active; the line
+        # names the directory so multi-cache workflows stay attributable
+        print(cache.stats_line())
     return 1 if failures else 0
 
 

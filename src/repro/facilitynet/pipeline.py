@@ -134,6 +134,7 @@ def rack_ingress_traces(
     workers: Optional[int] = None,
     fanin: int = 8,
     cache: Optional[ShardCache] = None,
+    assignments: Optional[Tuple[tuple, ...]] = None,
 ) -> Tuple[Trace, ...]:
     """Merged per-rack packet windows, one trace per rack.
 
@@ -145,6 +146,12 @@ def rack_ingress_traces(
     ``repro-experiments --cache-dir``) replays per-server windows from
     disk, so a swept ratio or a re-run experiment skips the fleet
     simulation entirely; cached and recomputed ingress are bit-identical.
+
+    ``assignments`` (per-server session tuples from a
+    :class:`repro.matchmaking.MatchmakingResult`) switches the facility
+    to *endogenous* ingress: each rack's offered load follows the
+    populations the matchmaker assigned to its servers rather than the
+    profiles' own arrival processes.
     """
     if topology.n_servers != fleet.n_servers:
         raise ValueError(
@@ -156,16 +163,40 @@ def rack_ingress_traces(
             f"window [{start!r}, {end!r}) outside the fleet horizon "
             f"{fleet.horizon!r}"
         )
-    rack_of = topology.server_to_rack()
-    tasks = tuple(
-        WindowTask(
-            profile=fleet.server_profile(index),
-            seed=fleet_server_seed(fleet.seed, index),
-            start=float(start),
-            end=float(end),
+    if assignments is not None and len(assignments) != fleet.n_servers:
+        raise ValueError(
+            f"{len(assignments)} assignment lists for a fleet of "
+            f"{fleet.n_servers} servers"
         )
-        for index in range(fleet.n_servers)
-    )
+    rack_of = topology.server_to_rack()
+    if assignments is not None:
+        from repro.matchmaking.traffic import (
+            AssignedWindowTask,
+            simulate_assigned_window,
+        )
+
+        worker = simulate_assigned_window
+        tasks = tuple(
+            AssignedWindowTask(
+                profile=fleet.server_profile(index),
+                sessions=tuple(assignments[index]),
+                seed=fleet_server_seed(fleet.seed, index),
+                start=float(start),
+                end=float(end),
+            )
+            for index in range(fleet.n_servers)
+        )
+    else:
+        worker = simulate_window
+        tasks = tuple(
+            WindowTask(
+                profile=fleet.server_profile(index),
+                seed=fleet_server_seed(fleet.seed, index),
+                start=float(start),
+                end=float(end),
+            )
+            for index in range(fleet.n_servers)
+        )
 
     def fold(
         state: Tuple[List[TraceAccumulator], int], trace: Trace
@@ -176,7 +207,7 @@ def rack_ingress_traces(
 
     initial = ([TraceAccumulator(fanin=fanin) for _ in topology.racks], 0)
     accumulators, _ = shard_map_fold(
-        simulate_window, tasks, fold, initial, workers=workers, cache=cache
+        worker, tasks, fold, initial, workers=workers, cache=cache
     )
     return tuple(accumulator.result() for accumulator in accumulators)
 
@@ -327,7 +358,8 @@ class FacilityPipeline:
 
     Caches rack ingress traces per ``(start, end)`` window so repeated
     runs (or sweeps over sibling topologies via :func:`run_hops`) pay
-    the fleet simulation once.
+    the fleet simulation once.  ``assignments`` switches every window to
+    endogenous ingress (see :func:`rack_ingress_traces`).
     """
 
     def __init__(
@@ -335,6 +367,7 @@ class FacilityPipeline:
         fleet: FleetProfile,
         topology: FacilityTopology,
         cache: Optional[ShardCache] = None,
+        assignments: Optional[Tuple[tuple, ...]] = None,
     ) -> None:
         if topology.n_servers != fleet.n_servers:
             raise ValueError(
@@ -344,6 +377,7 @@ class FacilityPipeline:
         self.fleet = fleet
         self.topology = topology
         self.cache = cache
+        self.assignments = assignments
         self._ingress: dict = {}
 
     def ingress(
@@ -365,6 +399,7 @@ class FacilityPipeline:
                 workers=workers,
                 fanin=fanin,
                 cache=self.cache,
+                assignments=self.assignments,
             )
         return self._ingress[key]
 

@@ -213,6 +213,15 @@ class ShardCache:
             raise
         self.stats.stores += 1
 
+    def stats_line(self) -> str:
+        """The runner's end-of-run status line, naming the cache path.
+
+        E.g. ``cache /tmp/shards: 8 hits, 0 misses, 0 stored``.  Printed
+        only when a cache directory is active (the ``--cache-dir`` flag
+        guards the call), so cacheless runs stay clean.
+        """
+        return f"cache {self.root}: {self.stats.render()}"
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ShardCache(root={str(self.root)!r}, {self.stats.render()})"
 

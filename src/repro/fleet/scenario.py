@@ -46,17 +46,48 @@ class FleetScenario:
     :class:`~repro.fleet.cache.ShardCache` replays per-server series and
     packet windows from disk.  Cached results are bit-identical to
     recomputed ones, so aggregates never depend on cache warmth either.
+
+    ``assignments`` switches the facility to *endogenous* populations:
+    instead of each server running its profile's own arrival process,
+    per-server session lists (matchmaker output — see
+    :meth:`from_matchmaking`) drive the count- and packet-level
+    generators.  Everything else — sharding, caching, determinism — is
+    unchanged.
     """
 
     def __init__(
-        self, fleet: FleetProfile, cache: Optional[ShardCache] = None
+        self,
+        fleet: FleetProfile,
+        cache: Optional[ShardCache] = None,
+        assignments: Optional[Tuple[tuple, ...]] = None,
     ) -> None:
+        if assignments is not None and len(assignments) != fleet.n_servers:
+            raise ValueError(
+                f"{len(assignments)} assignment lists for a fleet of "
+                f"{fleet.n_servers} servers"
+            )
         self.fleet = fleet
         self.cache = cache
+        self.assignments = assignments
         self._profiles: Optional[Tuple[ServerProfile, ...]] = None
         self._scenarios: Dict[int, Scenario] = {}
         self._aggregate_series: Optional[FluidSeries] = None
         self._aggregate_windows: Dict[Tuple[float, float], Trace] = {}
+
+    @classmethod
+    def from_matchmaking(
+        cls, result, cache: Optional[ShardCache] = None
+    ) -> "FleetScenario":
+        """A facility driven by a closed-loop matchmaking run.
+
+        ``result`` is a :class:`repro.matchmaking.MatchmakingResult`;
+        its per-server assigned sessions replace the exogenous per-server
+        arrival processes, so the facility aggregates reflect the
+        placement policy's decisions.  Per-server traffic seeds stay
+        ``fleet_server_seed(fleet.seed, index)`` — common random numbers
+        across policies, so policy comparisons differ only in placement.
+        """
+        return cls(result.fleet, cache=cache, assignments=result.sessions)
 
     # ------------------------------------------------------------------
     # per-server access
@@ -80,8 +111,17 @@ class FleetScenario:
     def server_scenario(self, index: int) -> Scenario:
         """The (cached, in-process) single-server scenario for ``index``."""
         if index not in self._scenarios:
+            population = None
+            if self.assignments is not None:
+                from repro.matchmaking.traffic import assigned_population
+
+                population = assigned_population(
+                    self.server_profiles[index], self.assignments[index]
+                )
             self._scenarios[index] = Scenario(
-                self.server_profiles[index], seed=self.server_seed(index)
+                self.server_profiles[index],
+                seed=self.server_seed(index),
+                population=population,
             )
         return self._scenarios[index]
 
@@ -98,9 +138,52 @@ class FleetScenario:
     # ------------------------------------------------------------------
     # facility aggregates
     # ------------------------------------------------------------------
-    def _series_tasks(self) -> Tuple[SeriesTask, ...]:
-        return tuple(
+    def _series_work(self):
+        """(worker fn, task tuple) for the per-server series stage."""
+        if self.assignments is not None:
+            from repro.matchmaking.traffic import (
+                AssignedSeriesTask,
+                simulate_assigned_series,
+            )
+
+            return simulate_assigned_series, tuple(
+                AssignedSeriesTask(
+                    profile=profile,
+                    sessions=tuple(self.assignments[index]),
+                    seed=self.server_seed(index),
+                )
+                for index, profile in enumerate(self.server_profiles)
+            )
+        return simulate_series, tuple(
             SeriesTask(profile=profile, seed=self.server_seed(index))
+            for index, profile in enumerate(self.server_profiles)
+        )
+
+    def _window_work(self, start: float, end: float):
+        """(worker fn, task tuple) for one packet-window stage."""
+        if self.assignments is not None:
+            from repro.matchmaking.traffic import (
+                AssignedWindowTask,
+                simulate_assigned_window,
+            )
+
+            return simulate_assigned_window, tuple(
+                AssignedWindowTask(
+                    profile=profile,
+                    sessions=tuple(self.assignments[index]),
+                    seed=self.server_seed(index),
+                    start=start,
+                    end=end,
+                )
+                for index, profile in enumerate(self.server_profiles)
+            )
+        return simulate_window, tuple(
+            WindowTask(
+                profile=profile,
+                seed=self.server_seed(index),
+                start=start,
+                end=end,
+            )
             for index, profile in enumerate(self.server_profiles)
         )
 
@@ -120,9 +203,10 @@ class FleetScenario:
                 for series in self.iter_server_series():
                     accumulator.add(series)
             else:
+                worker, tasks = self._series_work()
                 accumulator = shard_map_fold(
-                    simulate_series,
-                    self._series_tasks(),
+                    worker,
+                    tasks,
                     lambda acc, series: acc.add(series),
                     accumulator,
                     workers=workers,
@@ -161,17 +245,9 @@ class FleetScenario:
                         self.server_scenario(index).packet_generator.generate(*key)
                     )
             else:
-                tasks = tuple(
-                    WindowTask(
-                        profile=profile,
-                        seed=self.server_seed(index),
-                        start=key[0],
-                        end=key[1],
-                    )
-                    for index, profile in enumerate(self.server_profiles)
-                )
+                worker, tasks = self._window_work(*key)
                 accumulator = shard_map_fold(
-                    simulate_window,
+                    worker,
                     tasks,
                     lambda acc, trace: acc.add(trace),
                     accumulator,

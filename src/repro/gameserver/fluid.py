@@ -137,6 +137,19 @@ class FluidSeries:
         )
 
 
+def fluid_series_equal(a: FluidSeries, b: FluidSeries) -> bool:
+    """Exact (bit-identical) equality of two series' count/byte arrays.
+
+    The determinism oracle the fleet/matchmaking experiments use to pin
+    "sharded equals serial": every array must match exactly, not within
+    a tolerance.
+    """
+    return all(
+        np.array_equal(getattr(a, name), getattr(b, name))
+        for name in ("in_counts", "out_counts", "in_bytes", "out_bytes")
+    )
+
+
 class CountLevelGenerator:
     """Generates :class:`FluidSeries` from a shared population realisation."""
 

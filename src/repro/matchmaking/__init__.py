@@ -1,0 +1,78 @@
+"""Fleet-level closed loop: shared player pool, pluggable server selection.
+
+The paper's provisioning story hinges on players, not links: a saturated
+server stays pinned at capacity because the population refills it as
+fast as sessions churn.  This package turns the fleet from N independent
+replicas into one coupled facility:
+
+* :mod:`repro.matchmaking.pool` — :class:`PoolConfig`: a finite,
+  diurnally modulated player pool (idle → attempting → playing → idle)
+  whose arrival stream is drained by admissions and refilled by churn —
+  facility load becomes *endogenous* to placement decisions;
+* :mod:`repro.matchmaking.policies` — pluggable
+  :class:`SelectionPolicy` implementations: ``random``,
+  ``least_loaded``, ``sticky`` (session affinity) and
+  ``capacity_aware`` (admission control with retry/balk);
+* :mod:`repro.matchmaking.engine` — the deterministic epoch loop:
+  per-epoch pool/assignment streams and per-``(server, epoch)``
+  duration streams, producing per-server session assignments and
+  occupancy traces (:class:`MatchmakingResult`);
+* :mod:`repro.matchmaking.traffic` — picklable per-server traffic tasks
+  over assigned populations, sharded through
+  :func:`repro.fleet.execution.shard_map_fold` and cached by
+  :class:`repro.fleet.cache.ShardCache` — results are bit-identical for
+  any worker count and across warm/cold caches.
+
+Downstream wiring:
+:meth:`repro.fleet.scenario.FleetScenario.from_matchmaking` drives the
+fleet aggregates from a result;
+:func:`repro.facilitynet.pipeline.rack_ingress_traces` accepts
+``assignments`` for endogenous rack ingress; facility-level occupancy
+and admission metrics live in :mod:`repro.core.facility`; the
+``matchmaking`` experiment (``repro-experiments matchmaking --policy
+least_loaded --pool-size 600``) compares all four policies under one
+demand process.
+"""
+
+from repro.matchmaking.engine import (
+    MatchmakingResult,
+    MatchmakingSimulator,
+    simulate_matchmaking,
+)
+from repro.matchmaking.policies import (
+    POLICIES,
+    CapacityAwarePolicy,
+    LeastLoadedPolicy,
+    RandomPolicy,
+    SelectionPolicy,
+    StickyPolicy,
+    make_policy,
+)
+from repro.matchmaking.pool import PlayerTraits, PoolConfig
+from repro.matchmaking.traffic import (
+    AssignedSeriesTask,
+    AssignedWindowTask,
+    assigned_population,
+    simulate_assigned_series,
+    simulate_assigned_window,
+)
+
+__all__ = [
+    "POLICIES",
+    "AssignedSeriesTask",
+    "AssignedWindowTask",
+    "CapacityAwarePolicy",
+    "LeastLoadedPolicy",
+    "MatchmakingResult",
+    "MatchmakingSimulator",
+    "PlayerTraits",
+    "PoolConfig",
+    "RandomPolicy",
+    "SelectionPolicy",
+    "StickyPolicy",
+    "assigned_population",
+    "make_policy",
+    "simulate_assigned_series",
+    "simulate_assigned_window",
+    "simulate_matchmaking",
+]

@@ -1,0 +1,328 @@
+"""The fleet-level closed loop: one player pool, many servers, one matchmaker.
+
+:class:`MatchmakingSimulator` advances a shared
+:class:`~repro.matchmaking.pool.PoolConfig` player pool through fixed
+epochs and assigns every connection attempt to a server with a pluggable
+:class:`~repro.matchmaking.policies.SelectionPolicy`.  Within an epoch,
+departures and arrivals are processed in strict time order against the
+live per-server occupancy — the matchmaker sees exactly the facility
+state a real one would — and the slot-table rule is enforced at
+admission: a full server refuses, and refusals feed back into the pool
+(balk to idle, or retry under admission control).  Facility load is
+therefore *endogenous*: per-server populations emerge from placement
+decisions instead of being drawn per server.
+
+Determinism and shard-friendliness:
+
+* pool state advances in fixed epochs; every epoch ``k`` draws from
+  fresh streams seeded ``derive_seed(seed, "matchmaking-pool:k")``
+  (arrivals) and ``…-assign:k`` (policy choices), so a run is a pure
+  function of ``(fleet, config, policy, seed)``;
+* per-server randomness — session durations of sessions admitted to
+  server ``s`` during epoch ``k`` — comes from a stream seeded per
+  ``(server_index, epoch)``, so one server's draws never depend on what
+  the matchmaker sent anywhere else;
+* the epoch loop itself is cheap and runs in-process; the expensive
+  per-server *traffic synthesis* over the resulting assignments is the
+  sharded, cacheable stage (see :mod:`repro.matchmaking.traffic` and
+  :meth:`repro.fleet.scenario.FleetScenario.from_matchmaking`) — results
+  are bit-identical for any worker count and across warm/cold caches.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.facility import AdmissionStats, OccupancyStats
+from repro.fleet.profiles import FleetProfile
+from repro.gameserver.population import SessionRecord
+from repro.matchmaking.policies import SelectionPolicy, make_policy
+from repro.matchmaking.pool import PlayerTraits, PoolConfig
+from repro.sim.random import derive_seed, sample_lognormal
+
+#: Player lifecycle states.
+_IDLE, _WAITING, _PLAYING = 0, 1, 2
+
+
+@dataclass
+class MatchmakingResult:
+    """Everything one closed-loop run produced.
+
+    ``sessions[s]`` holds server ``s``'s admitted sessions in start
+    order — the per-server population traces that drive the fleet and
+    facilitynet stages.  ``occupancy[s, k]`` is server ``s``'s
+    instantaneous player count at the end of epoch ``k``.
+    """
+
+    fleet: FleetProfile
+    config: PoolConfig
+    policy: str
+    seed: int
+    capacities: Tuple[int, ...]
+    sessions: Tuple[Tuple[SessionRecord, ...], ...]
+    occupancy: np.ndarray
+    admission: AdmissionStats
+    per_server_attempts: np.ndarray
+    per_server_rejections: np.ndarray
+    #: Admitted sessions whose server equals the player's previous one.
+    repeat_assignments: int
+
+    # ------------------------------------------------------------------
+    @property
+    def n_servers(self) -> int:
+        """Number of servers in the facility."""
+        return len(self.capacities)
+
+    @property
+    def n_epochs(self) -> int:
+        """Number of epochs the pool advanced through."""
+        return int(self.occupancy.shape[1])
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of attempts refused (full server or admission control)."""
+        return self.admission.rejection_rate
+
+    @property
+    def affinity_fraction(self) -> float:
+        """Share of admitted sessions placed on the player's previous server."""
+        if not self.admission.admitted:
+            return 0.0
+        return self.repeat_assignments / self.admission.admitted
+
+    def occupancy_stats(self) -> OccupancyStats:
+        """Facility occupancy distribution over server-epochs."""
+        return OccupancyStats.from_occupancy(
+            self.occupancy, np.asarray(self.capacities)
+        )
+
+    def describe(self) -> str:
+        """One-line summary: policy, admissions, rejection, occupancy."""
+        stats = self.occupancy_stats()
+        return (
+            f"{self.policy:>14}: {self.admission.admitted} admitted / "
+            f"{self.admission.attempts} attempts, "
+            f"rejection {self.rejection_rate:6.1%}, "
+            f"utilization {stats.utilization:5.1%}, "
+            f"affinity {self.affinity_fraction:5.1%}"
+        )
+
+
+class MatchmakingSimulator:
+    """Discrete-epoch closed-loop simulation of pool + matchmaker + fleet.
+
+    Parameters
+    ----------
+    fleet:
+        The facility profile; per-server capacities come from its
+        derived :class:`~repro.gameserver.config.ServerProfile`\\ s.
+    policy:
+        A :class:`~repro.matchmaking.policies.SelectionPolicy` instance
+        or registry name.
+    config:
+        The shared pool; defaults to
+        :meth:`PoolConfig.for_fleet(fleet) <repro.matchmaking.pool.PoolConfig.for_fleet>`.
+    seed:
+        Master seed of the pool/assignment streams; defaults to the
+        fleet's seed so one integer reproduces the whole closed loop.
+    """
+
+    def __init__(
+        self,
+        fleet: FleetProfile,
+        policy: Union[str, SelectionPolicy],
+        config: Optional[PoolConfig] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.fleet = fleet
+        self.policy = make_policy(policy)
+        self.config = config if config is not None else PoolConfig.for_fleet(fleet)
+        self.seed = fleet.seed if seed is None else int(seed)
+        if abs(self.config.horizon - fleet.horizon) > 1e-9:
+            raise ValueError(
+                f"pool horizon {self.config.horizon!r} must match the fleet "
+                f"horizon {fleet.horizon!r} (assignments drive per-server "
+                "traffic over the same window)"
+            )
+
+    # ------------------------------------------------------------------
+    def run(self) -> MatchmakingResult:
+        """Advance the pool over every epoch and return the assignments."""
+        config = self.config
+        fleet = self.fleet
+        policy = self.policy
+        profiles = fleet.server_profiles()
+        capacities = np.asarray([p.max_players for p in profiles], dtype=np.int64)
+        n_servers = capacities.size
+        n_epochs = config.n_epochs
+        horizon = config.horizon
+
+        traits = PlayerTraits.draw(config, self.seed)
+        player_state = np.zeros(config.pool_size, dtype=np.int8)
+        last_server = np.full(config.pool_size, -1, dtype=np.int64)
+
+        occupancy = np.zeros(n_servers, dtype=np.int64)
+        occupancy_trace = np.zeros((n_servers, n_epochs), dtype=np.int64)
+        sessions: List[List[SessionRecord]] = [[] for _ in range(n_servers)]
+        per_server_attempts = np.zeros(n_servers, dtype=np.int64)
+        per_server_rejections = np.zeros(n_servers, dtype=np.int64)
+
+        #: (end_time, server, player) min-heap of active sessions.
+        departures: List[Tuple[float, int, int]] = []
+        #: (retry_time, player) min-heap of pending retries.
+        retries: List[Tuple[float, int]] = []
+
+        attempts = admitted = rejected = balked = retried = 0
+        repeat_assignments = 0
+        next_session_id = 0
+
+        def drain_departures(until: float, strict: bool = False) -> None:
+            """Finish sessions ending before ``until`` (``<=`` unless strict)."""
+            while departures and (
+                departures[0][0] < until
+                or (not strict and departures[0][0] <= until)
+            ):
+                _, server, player = heapq.heappop(departures)
+                occupancy[server] -= 1
+                player_state[player] = _IDLE
+
+        for epoch in range(n_epochs):
+            t0 = epoch * config.epoch_length
+            t1 = min(t0 + config.epoch_length, horizon)
+            rng_pool = np.random.default_rng(
+                derive_seed(self.seed, f"matchmaking-pool:{epoch}")
+            )
+            rng_assign = np.random.default_rng(
+                derive_seed(self.seed, f"matchmaking-assign:{epoch}")
+            )
+            duration_streams: Dict[int, np.random.Generator] = {}
+
+            # -- fresh arrivals from the idle pool ----------------------
+            idle_players = np.flatnonzero(player_state == _IDLE)
+            hazard = config.attempt_rate_at(0.5 * (t0 + t1))
+            p_attempt = 1.0 - math.exp(-hazard * (t1 - t0))
+            mask = rng_pool.uniform(size=idle_players.size) < p_attempt
+            arrivals = [
+                (t0 + offset * (t1 - t0), int(player))
+                for player, offset in zip(
+                    idle_players[mask],
+                    rng_pool.uniform(size=int(mask.sum())),
+                )
+            ]
+            # -- retries that came due this epoch -----------------------
+            # retries are epoch-granular: one scheduled mid-epoch for a
+            # time already behind the pool clock re-attempts at this
+            # epoch's start, keeping admissions chronological
+            while retries and retries[0][0] < t1:
+                retry_at, player = heapq.heappop(retries)
+                arrivals.append((max(retry_at, t0), player))
+            arrivals.sort()
+            # attempting players leave the idle pool for this epoch
+            for _, player in arrivals:
+                player_state[player] = _WAITING
+
+            # -- chronological admission against live occupancy ---------
+            for when, player in arrivals:
+                drain_departures(when)
+                attempts += 1
+                previous = int(last_server[player])
+                chosen = policy.select(occupancy, capacities, previous, rng_assign)
+                if chosen is not None:
+                    per_server_attempts[chosen] += 1
+                if chosen is None or occupancy[chosen] >= capacities[chosen]:
+                    rejected += 1
+                    if chosen is not None:
+                        per_server_rejections[chosen] += 1
+                    wants_retry = (
+                        policy.retry_on_reject
+                        and rng_assign.uniform() < config.retry_probability
+                    )
+                    if wants_retry:
+                        retry_at = when + float(
+                            rng_assign.exponential(config.retry_delay_mean)
+                        )
+                        if retry_at < horizon:
+                            heapq.heappush(retries, (retry_at, player))
+                            retried += 1
+                            continue
+                    balked += 1
+                    player_state[player] = _IDLE
+                    continue
+                # admitted: duration from the (server, epoch) stream
+                if chosen not in duration_streams:
+                    duration_streams[chosen] = np.random.default_rng(
+                        derive_seed(
+                            self.seed, f"matchmaking-server:{chosen}:{epoch}"
+                        )
+                    )
+                duration = max(
+                    config.session_duration_min,
+                    float(
+                        sample_lognormal(
+                            duration_streams[chosen],
+                            config.session_duration_mean,
+                            config.session_duration_cv,
+                        )
+                    ),
+                )
+                end = min(when + duration, horizon)
+                heapq.heappush(departures, (end, chosen, player))
+                occupancy[chosen] += 1
+                sessions[chosen].append(
+                    SessionRecord(
+                        session_id=next_session_id,
+                        client_id=player,
+                        start=when,
+                        end=end,
+                        rate_multiplier=float(traits.rate_multipliers[player]),
+                        link_class=traits.link_class_of(player),
+                        wants_download=bool(traits.wants_download[player]),
+                    )
+                )
+                next_session_id += 1
+                admitted += 1
+                if chosen == previous:
+                    repeat_assignments += 1
+                last_server[player] = chosen
+                player_state[player] = _PLAYING
+
+            # occupancy sampled just before the epoch boundary, so
+            # sessions truncated at the horizon still count in the
+            # final column
+            drain_departures(t1, strict=True)
+            occupancy_trace[:, epoch] = occupancy
+
+        return MatchmakingResult(
+            fleet=fleet,
+            config=config,
+            policy=policy.name,
+            seed=self.seed,
+            capacities=tuple(int(c) for c in capacities),
+            sessions=tuple(tuple(per_server) for per_server in sessions),
+            occupancy=occupancy_trace,
+            admission=AdmissionStats(
+                attempts=attempts,
+                admitted=admitted,
+                rejected=rejected,
+                balked=balked,
+                retried=retried,
+            ),
+            per_server_attempts=per_server_attempts,
+            per_server_rejections=per_server_rejections,
+            repeat_assignments=repeat_assignments,
+        )
+
+
+def simulate_matchmaking(
+    fleet: FleetProfile,
+    policy: Union[str, SelectionPolicy],
+    config: Optional[PoolConfig] = None,
+    seed: Optional[int] = None,
+) -> MatchmakingResult:
+    """Convenience wrapper: run one :class:`MatchmakingSimulator`."""
+    return MatchmakingSimulator(fleet, policy, config=config, seed=seed).run()

@@ -1,0 +1,151 @@
+"""Pluggable server-selection policies for the facility matchmaker.
+
+A policy answers one question per connection attempt: *which server
+should this player try to join, given the facility's current occupancy?*
+The matchmaker (see :mod:`repro.matchmaking.engine`) then applies the
+slot-table rule — a full server refuses the attempt — so policies never
+mutate state; they only read the occupancy snapshot and draw from the
+epoch's assignment stream.
+
+The four policies span the provisioning trade-off the paper's closing
+section motivates:
+
+* :class:`RandomPolicy` — the server-browser baseline: players pick
+  uniformly at random, blind to load, and balk when refused;
+* :class:`LeastLoadedPolicy` — a load-balancing matchmaker: always the
+  server with the most free slots, so refusals only occur when the whole
+  facility is full;
+* :class:`StickyPolicy` — session affinity: returning players rejoin the
+  server they last played on (map familiarity, friends, ping history),
+  falling back to a random server *with room* otherwise;
+* :class:`CapacityAwarePolicy` — admission control: least-loaded among
+  the non-full servers, refusing at the matchmaker when the facility is
+  full; refused players retry after a delay or balk (the retry/balk
+  split lives in :class:`~repro.matchmaking.pool.PoolConfig`).
+
+Determinism contract: ``select`` is a pure function of
+``(occupancy, capacities, last_server)`` and the draws it takes from
+``rng`` — the engine hands it the per-epoch assignment stream, so the
+whole assignment sequence is reproducible from one seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type, Union
+
+import numpy as np
+
+
+class SelectionPolicy:
+    """Base class: pick a server for one connection attempt.
+
+    Subclasses set ``name`` (the registry/CLI identifier) and
+    ``retry_on_reject`` (whether the pool schedules retries for attempts
+    this policy gets refused — admission-control behaviour).
+    """
+
+    #: Registry / CLI identifier.
+    name: str = ""
+    #: Whether refused attempts enter the pool's retry/balk machinery.
+    retry_on_reject: bool = False
+
+    def select(
+        self,
+        occupancy: np.ndarray,
+        capacities: np.ndarray,
+        last_server: int,
+        rng: np.random.Generator,
+    ) -> Optional[int]:
+        """Server index for this attempt, or ``None`` to refuse outright.
+
+        ``occupancy`` and ``capacities`` are read-only per-server arrays;
+        ``last_server`` is the player's previous server (-1 if none).
+        Returning a full server's index is allowed — the slot table
+        refuses the attempt — while ``None`` means the policy itself
+        turned the player away (admission control).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class RandomPolicy(SelectionPolicy):
+    """Uniform random server, blind to load (the server-browser baseline)."""
+
+    name = "random"
+
+    def select(self, occupancy, capacities, last_server, rng) -> Optional[int]:
+        return int(rng.integers(occupancy.size))
+
+
+class LeastLoadedPolicy(SelectionPolicy):
+    """The server with the most free slots (ties to the lowest index)."""
+
+    name = "least_loaded"
+
+    def select(self, occupancy, capacities, last_server, rng) -> Optional[int]:
+        return int(np.argmax(capacities - occupancy))
+
+
+class StickyPolicy(SelectionPolicy):
+    """Session affinity: rejoin the previous server while it has room.
+
+    New players — and returning players whose server is full — pick
+    uniformly among the servers with free slots; when every server is
+    full the attempt is refused.
+    """
+
+    name = "sticky"
+
+    def select(self, occupancy, capacities, last_server, rng) -> Optional[int]:
+        if 0 <= last_server < occupancy.size and (
+            occupancy[last_server] < capacities[last_server]
+        ):
+            return int(last_server)
+        open_servers = np.flatnonzero(occupancy < capacities)
+        if open_servers.size == 0:
+            return None
+        return int(open_servers[int(rng.integers(open_servers.size))])
+
+
+class CapacityAwarePolicy(SelectionPolicy):
+    """Admission control: least-loaded among non-full servers, else refuse.
+
+    The only policy with ``retry_on_reject``: a refused player retries
+    after an exponential delay (or balks) instead of silently returning
+    to the idle pool — the matchmaker equivalent of the paper's clients
+    hammering a full server's slot table.
+    """
+
+    name = "capacity_aware"
+    retry_on_reject = True
+
+    def select(self, occupancy, capacities, last_server, rng) -> Optional[int]:
+        free = capacities - occupancy
+        if not np.any(free > 0):
+            return None
+        return int(np.argmax(free))
+
+
+#: Policy registry in presentation order (CLI ``--policy`` choices).
+POLICIES: Dict[str, Type[SelectionPolicy]] = {
+    policy.name: policy
+    for policy in (
+        RandomPolicy,
+        LeastLoadedPolicy,
+        StickyPolicy,
+        CapacityAwarePolicy,
+    )
+}
+
+
+def make_policy(policy: Union[str, SelectionPolicy]) -> SelectionPolicy:
+    """Resolve a policy name (or pass an instance through)."""
+    if isinstance(policy, SelectionPolicy):
+        return policy
+    if policy not in POLICIES:
+        raise KeyError(
+            f"unknown policy {policy!r}; known: {', '.join(POLICIES)}"
+        )
+    return POLICIES[policy]()

@@ -27,12 +27,23 @@ DEFAULT_PACKET_WINDOW = (3600.0, 7200.0)
 
 
 class Scenario:
-    """Lazily evaluated simulation state for one (profile, seed) pair."""
+    """Lazily evaluated simulation state for one (profile, seed) pair.
 
-    def __init__(self, profile: ServerProfile, seed: int = 0) -> None:
+    ``population`` overrides the profile's own arrival process with an
+    externally produced session list (e.g. matchmaker-assigned sessions
+    from :func:`repro.matchmaking.assigned_population`); packet and
+    count generation then run over those sessions unchanged.
+    """
+
+    def __init__(
+        self,
+        profile: ServerProfile,
+        seed: int = 0,
+        population: Optional[PopulationResult] = None,
+    ) -> None:
         self.profile = profile
         self.seed = seed
-        self._population: Optional[PopulationResult] = None
+        self._population: Optional[PopulationResult] = population
         self._packet_generator: Optional[PacketLevelGenerator] = None
         self._fluid_generator: Optional[CountLevelGenerator] = None
         self._traces: Dict[Tuple[float, float], Trace] = {}

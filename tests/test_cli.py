@@ -72,6 +72,101 @@ class TestExperimentsWorkersFlag:
         assert "invalid" in capsys.readouterr().err
 
 
+class TestExperimentsCacheDirValidation:
+    def test_nonexistent_parent_is_a_clean_argparse_error(self, tmp_path, capsys):
+        bogus = str(tmp_path / "missing" / "cache")
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["--cache-dir", bogus, "table1"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--cache-dir" in err
+        assert "does not exist" in err
+        assert "Traceback" not in err
+
+    def test_existing_file_rejected(self, tmp_path, capsys):
+        not_a_dir = tmp_path / "entries.pkl"
+        not_a_dir.write_bytes(b"x")
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["--cache-dir", str(not_a_dir), "table1"])
+        assert excinfo.value.code == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_unwritable_path_rejected(self, tmp_path, monkeypatch, capsys):
+        # os.access is the writability oracle (root sees everything as
+        # writable, so the permission bit itself cannot be the fixture)
+        target = tmp_path / "cache"
+        target.mkdir()
+        monkeypatch.setattr(
+            runner.os, "access", lambda path, mode: False
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["--cache-dir", str(target), "table1"])
+        assert excinfo.value.code == 2
+        assert "not writable" in capsys.readouterr().err
+
+    def test_unwritable_parent_rejected(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(runner.os, "access", lambda path, mode: False)
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["--cache-dir", str(tmp_path / "cache"), "table1"])
+        assert excinfo.value.code == 2
+        assert "is not writable" in capsys.readouterr().err
+
+    def test_creatable_path_accepted(self, tmp_path):
+        # parent exists and is writable; the directory itself need not
+        assert runner._cache_dir(str(tmp_path / "cache")) == str(
+            tmp_path / "cache"
+        )
+
+
+class TestExperimentsMatchmakingFlags:
+    def test_unknown_policy_is_a_clean_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["--policy", "zergrush", "matchmaking"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--policy" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize("value", ["0", "-5"])
+    def test_non_positive_pool_size_is_a_clean_argparse_error(self, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["--pool-size", value, "matchmaking"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--pool-size" in err
+        assert "must be >= 1" in err
+
+    def test_pool_size_below_capacity_is_a_clean_runtime_error(self, capsys):
+        # feasibility depends on the seed-derived facility's slot count,
+        # so this surfaces at run time — but cleanly, without a traceback
+        code = runner.main(["--pool-size", "2", "matchmaking"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--pool-size" in err
+        assert "must exceed" in err
+        assert "Traceback" not in err
+
+    def test_defaults_are_reset_after_run(self, monkeypatch):
+        from repro.experiments import matchmaking
+
+        calls = {}
+
+        def fake_run(ids, seed=0):
+            calls["policy"] = matchmaking._default_policy
+            calls["pool_size"] = matchmaking._default_pool_size
+            return []
+
+        monkeypatch.setattr(runner, "run_experiments", fake_run)
+        runner.main(
+            ["--policy", "sticky", "--pool-size", "123", "matchmaking"]
+        )
+        # installed for the run...
+        assert calls == {"policy": "sticky", "pool_size": 123}
+        # ...and cleared afterwards
+        assert matchmaking._default_policy is None
+        assert matchmaking._default_pool_size is None
+
+
 class TestExperimentsCacheDir:
     @staticmethod
     def _fake_experiment(tmp_path, monkeypatch):

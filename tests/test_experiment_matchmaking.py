@@ -1,0 +1,75 @@
+"""End-to-end tests of the matchmaking experiment and its CLI plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import matchmaking
+from repro.matchmaking import POLICIES
+
+
+@pytest.fixture(scope="module")
+def output():
+    return matchmaking.run(seed=0)
+
+
+class TestMatchmakingExperiment:
+    def test_all_rows_pass(self, output):
+        assert output.passed, output.render()
+
+    def test_all_policies_compared(self, output):
+        assert set(output.extras["results"]) == set(POLICIES)
+        assert set(output.extras["envelopes"]) == set(POLICIES)
+
+    def test_identical_demand_process(self, output):
+        # one pool config drives every policy
+        configs = [r.config for r in output.extras["results"].values()]
+        assert all(config == configs[0] for config in configs)
+
+    def test_load_aware_beats_blind_placement(self, output):
+        results = output.extras["results"]
+        assert (
+            results["least_loaded"].rejection_rate
+            < results["random"].rejection_rate
+        )
+        stats = output.extras["occupancy_stats"]
+        assert stats["least_loaded"].utilization > stats["random"].utilization
+
+    def test_notes_report_policy_deltas(self, output):
+        text = output.render()
+        for name in POLICIES:
+            assert name in text
+        assert "gain-vs-random" in text
+
+    def test_policy_override_narrows_the_run(self):
+        matchmaking.set_default_policy("least_loaded")
+        try:
+            narrowed = matchmaking.run(seed=0)
+        finally:
+            matchmaking.set_default_policy(None)
+        assert set(narrowed.extras["results"]) == {"least_loaded"}
+        assert narrowed.passed, narrowed.render()
+
+    def test_pool_size_override(self):
+        matchmaking.set_default_policy("random")
+        matchmaking.set_default_pool_size(200)
+        try:
+            small = matchmaking.run(seed=0)
+        finally:
+            matchmaking.set_default_policy(None)
+            matchmaking.set_default_pool_size(None)
+        assert small.extras["config"].pool_size == 200
+
+    def test_bad_overrides_rejected(self):
+        with pytest.raises(KeyError):
+            matchmaking.set_default_policy("nonexistent")
+        with pytest.raises(ValueError):
+            matchmaking.set_default_pool_size(0)
+
+    def test_deterministic_across_runs(self, output):
+        again = matchmaking.run(seed=0)
+        a = output.extras["aggregates"]["least_loaded"]
+        b = again.extras["aggregates"]["least_loaded"]
+        assert all(
+            np.array_equal(getattr(a, name), getattr(b, name))
+            for name in ("in_counts", "out_counts", "in_bytes", "out_bytes")
+        )

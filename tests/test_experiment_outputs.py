@@ -23,8 +23,9 @@ class TestModuleContract:
             assert callable(module.run)
 
     def test_registry_count(self):
-        # 4 tables + 15 figures + 6 extension studies + fleet + facilitynet
-        assert len(REGISTRY) == 27
+        # 4 tables + 15 figures + 6 extension studies + fleet +
+        # facilitynet + matchmaking
+        assert len(REGISTRY) == 28
 
 
 class TestCheapExperimentsEndToEnd:

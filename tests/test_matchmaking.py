@@ -1,0 +1,328 @@
+"""Unit tests for the repro.matchmaking closed loop.
+
+Pool configuration, the four selection policies, the epoch engine's
+bookkeeping invariants, assigned-population traffic synthesis, and the
+facility-level occupancy/admission metrics in repro.core.facility.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.facility import (
+    AdmissionStats,
+    FacilityEnvelope,
+    OccupancyStats,
+    policy_multiplexing_gain,
+)
+from repro.fleet.profiles import hosting_facility
+from repro.fleet.scenario import FleetScenario
+from repro.matchmaking import (
+    POLICIES,
+    PoolConfig,
+    assigned_population,
+    make_policy,
+    simulate_matchmaking,
+)
+from repro.matchmaking.policies import (
+    CapacityAwarePolicy,
+    LeastLoadedPolicy,
+    RandomPolicy,
+    StickyPolicy,
+)
+from repro.matchmaking.traffic import AssignedSeriesTask, simulate_assigned_series
+
+#: Small saturating facility shared by most tests.
+N_SERVERS = 3
+HORIZON = 900.0
+EPOCH = 60.0
+
+
+@pytest.fixture(scope="module")
+def small_fleet():
+    return hosting_facility(n_servers=N_SERVERS, duration=HORIZON, seed=3)
+
+
+@pytest.fixture(scope="module")
+def saturating_config(small_fleet):
+    # short sessions + high demand ratio: plenty of churn and pressure
+    return PoolConfig.for_fleet(
+        small_fleet,
+        demand_ratio=3.0,
+        epoch_length=EPOCH,
+        session_duration_mean=180.0,
+        session_duration_min=5.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def results(small_fleet, saturating_config):
+    return {
+        name: simulate_matchmaking(small_fleet, name, saturating_config)
+        for name in POLICIES
+    }
+
+
+class TestPoolConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoolConfig(pool_size=0, attempt_rate_per_player=0.1, horizon=60.0)
+        with pytest.raises(ValueError):
+            PoolConfig(pool_size=10, attempt_rate_per_player=0.0, horizon=60.0)
+        with pytest.raises(ValueError):
+            PoolConfig(
+                pool_size=10,
+                attempt_rate_per_player=0.1,
+                horizon=60.0,
+                epoch_length=120.0,
+            )
+        with pytest.raises(ValueError):
+            PoolConfig(
+                pool_size=10,
+                attempt_rate_per_player=0.1,
+                horizon=60.0,
+                retry_probability=1.5,
+            )
+
+    def test_for_fleet_matches_horizon_and_phase(self, small_fleet):
+        config = PoolConfig.for_fleet(small_fleet)
+        assert config.horizon == small_fleet.horizon
+        assert config.diurnal_phase == small_fleet.base_profile.diurnal_phase
+        assert config.pool_size > sum(
+            p.max_players for p in small_fleet.server_profiles()
+        )
+
+    def test_for_fleet_rejects_pool_below_capacity(self, small_fleet):
+        with pytest.raises(ValueError):
+            PoolConfig.for_fleet(small_fleet, pool_size=1)
+
+    def test_diurnal_modulation_moves_the_rate(self):
+        config = PoolConfig(
+            pool_size=10,
+            attempt_rate_per_player=0.1,
+            horizon=86400.0,
+            diurnal_amplitude=0.5,
+        )
+        rates = [config.attempt_rate_at(t) for t in np.arange(0, 86400, 3600)]
+        assert max(rates) > 1.5 * min(rates)
+        flat = config.replace(diurnal_amplitude=0.0)
+        assert flat.attempt_rate_at(0.0) == flat.attempt_rate_at(43200.0)
+
+
+class TestPolicies:
+    def test_registry_names(self):
+        assert list(POLICIES) == [
+            "random", "least_loaded", "sticky", "capacity_aware",
+        ]
+        for name in POLICIES:
+            assert make_policy(name).name == name
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(KeyError):
+            make_policy("zergrush")
+
+    def test_instance_passthrough(self):
+        policy = LeastLoadedPolicy()
+        assert make_policy(policy) is policy
+
+    def test_least_loaded_picks_most_free(self):
+        occupancy = np.array([3, 1, 2])
+        capacities = np.array([4, 4, 4])
+        rng = np.random.default_rng(0)
+        assert LeastLoadedPolicy().select(occupancy, capacities, -1, rng) == 1
+
+    def test_sticky_prefers_previous_server_with_room(self):
+        occupancy = np.array([3, 1, 2])
+        capacities = np.array([4, 4, 4])
+        rng = np.random.default_rng(0)
+        assert StickyPolicy().select(occupancy, capacities, 2, rng) == 2
+        # previous full: falls back to some server with room
+        occupancy = np.array([1, 1, 4])
+        chosen = StickyPolicy().select(occupancy, capacities, 2, rng)
+        assert chosen in (0, 1)
+
+    def test_sticky_refuses_when_facility_full(self):
+        occupancy = np.array([4, 4])
+        capacities = np.array([4, 4])
+        rng = np.random.default_rng(0)
+        assert StickyPolicy().select(occupancy, capacities, 0, rng) is None
+
+    def test_capacity_aware_refuses_only_when_full(self):
+        capacities = np.array([2, 2])
+        rng = np.random.default_rng(0)
+        policy = CapacityAwarePolicy()
+        assert policy.retry_on_reject
+        assert policy.select(np.array([2, 1]), capacities, -1, rng) == 1
+        assert policy.select(np.array([2, 2]), capacities, -1, rng) is None
+
+    def test_random_is_blind_to_load(self):
+        occupancy = np.array([5, 0])
+        capacities = np.array([5, 5])
+        rng = np.random.default_rng(1)
+        picks = {
+            RandomPolicy().select(occupancy, capacities, -1, rng)
+            for _ in range(64)
+        }
+        assert picks == {0, 1}
+
+
+class TestEngineInvariants:
+    def test_capacity_never_exceeded(self, results):
+        for name, result in results.items():
+            capacities = np.asarray(result.capacities)[:, None]
+            assert np.all(result.occupancy <= capacities), name
+            assert np.all(result.occupancy >= 0), name
+
+    def test_admission_accounting(self, results):
+        for result in results.values():
+            stats = result.admission
+            assert stats.attempts == stats.admitted + stats.rejected
+            assert stats.rejected == stats.balked + stats.retried
+            assert stats.admitted == sum(len(s) for s in result.sessions)
+            assert int(result.per_server_attempts.sum()) >= stats.admitted
+
+    def test_only_capacity_aware_retries(self, results):
+        assert results["capacity_aware"].admission.retried > 0
+        for name in ("random", "least_loaded", "sticky"):
+            assert results[name].admission.retried == 0, name
+
+    def test_sessions_within_horizon_and_consistent(self, results):
+        for result in results.values():
+            for server, session_list in enumerate(result.sessions):
+                for record in session_list:
+                    assert 0.0 <= record.start < record.end <= HORIZON
+                    assert 0 <= record.client_id < result.config.pool_size
+
+    def test_no_player_connected_twice_at_once(self, results):
+        for name, result in results.items():
+            events = []
+            for session_list in result.sessions:
+                for record in session_list:
+                    events.append((record.start, 1, record.client_id))
+                    events.append((record.end, 0, record.client_id))
+            events.sort()
+            connected = set()
+            for _, kind, client in events:
+                if kind == 0:
+                    connected.discard(client)
+                else:
+                    assert client not in connected, name
+                    connected.add(client)
+
+    def test_saturating_demand_pins_least_loaded(self, results):
+        stats = results["least_loaded"].occupancy_stats()
+        assert stats.utilization > 0.8
+
+    def test_sticky_affinity_beats_random(self, results):
+        assert (
+            results["sticky"].affinity_fraction
+            > results["random"].affinity_fraction
+        )
+
+    def test_least_loaded_rejects_no_more_than_random(self, results):
+        assert (
+            results["least_loaded"].rejection_rate
+            <= results["random"].rejection_rate
+        )
+
+    def test_determinism_and_seed_sensitivity(self, small_fleet, saturating_config):
+        a = simulate_matchmaking(small_fleet, "sticky", saturating_config)
+        b = simulate_matchmaking(small_fleet, "sticky", saturating_config)
+        assert np.array_equal(a.occupancy, b.occupancy)
+        assert a.sessions == b.sessions
+        c = simulate_matchmaking(
+            small_fleet, "sticky", saturating_config, seed=99
+        )
+        assert not np.array_equal(a.occupancy, c.occupancy)
+
+    def test_horizon_mismatch_rejected(self, small_fleet, saturating_config):
+        with pytest.raises(ValueError):
+            simulate_matchmaking(
+                small_fleet,
+                "random",
+                saturating_config.replace(horizon=HORIZON / 2, epoch_length=30.0),
+            )
+
+
+class TestAssignedTraffic:
+    def test_assigned_population_roundtrip(self, results, small_fleet):
+        result = results["least_loaded"]
+        profile = small_fleet.server_profile(0)
+        population = assigned_population(profile, result.sessions[0])
+        assert population.established_count == len(result.sessions[0])
+        assert population.attempted_count == len(result.sessions[0])
+        assert population.unique_attempting == population.unique_establishing
+        starts = [s.start for s in population.sessions]
+        assert starts == sorted(starts)
+
+    def test_empty_assignment_means_silent_server(self, small_fleet):
+        profile = small_fleet.server_profile(0)
+        series = simulate_assigned_series(
+            AssignedSeriesTask(profile=profile, sessions=(), seed=7)
+        )
+        assert len(series) == int(HORIZON)
+        # no sessions -> no structural rate; only sub-packet clipped
+        # noise remains (a populated server emits ~1e5+ packets here)
+        assert series.total_counts.sum() < 1.0
+
+    def test_fleet_scenario_from_matchmaking_sums_servers(self, results):
+        result = results["least_loaded"]
+        scenario = FleetScenario.from_matchmaking(result)
+        aggregate = scenario.aggregate_per_second(workers=1)
+        total = sum(
+            series.total_counts.sum()
+            for series in scenario.iter_server_series()
+        )
+        assert aggregate.total_counts.sum() == pytest.approx(total)
+
+    def test_assignment_length_validated(self, results, small_fleet):
+        with pytest.raises(ValueError):
+            FleetScenario(small_fleet, assignments=((),))
+
+
+class TestFacilityMetrics:
+    def test_admission_stats_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionStats(attempts=5, admitted=3, rejected=1)
+        with pytest.raises(ValueError):
+            AdmissionStats(attempts=5, admitted=3, rejected=2, balked=2, retried=1)
+        stats = AdmissionStats(
+            attempts=5, admitted=3, rejected=2, balked=1, retried=1
+        )
+        assert stats.rejection_rate == pytest.approx(0.4)
+        assert stats.retry_rate == pytest.approx(0.5)
+        assert AdmissionStats(0, 0, 0).rejection_rate == 0.0
+
+    def test_occupancy_stats_from_matrix(self):
+        occupancy = np.array([[2, 2, 1], [0, 1, 1]])
+        capacities = np.array([2, 2])
+        stats = OccupancyStats.from_occupancy(occupancy, capacities)
+        assert stats.mean_occupancy == pytest.approx(7 / 6)
+        assert stats.utilization == pytest.approx(7 / 12)
+        assert stats.full_fraction == pytest.approx(2 / 6)
+        assert stats.facility_full_fraction == 0.0
+        assert stats.distribution.sum() == pytest.approx(1.0)
+        assert stats.distribution[2] == pytest.approx(2 / 6)
+        assert stats.quantile(0.0) == 0
+        assert stats.quantile(1.0) == 2
+
+    def test_occupancy_stats_shape_validated(self):
+        with pytest.raises(ValueError):
+            OccupancyStats.from_occupancy(np.zeros((2, 3)), np.array([4]))
+
+    def test_policy_multiplexing_gain(self):
+        def envelope(peak, mean):
+            return FacilityEnvelope(
+                duration=60.0,
+                percentile=99.0,
+                mean_pps=mean,
+                peak_pps=peak,
+                mean_bandwidth_bps=1.0,
+                peak_bandwidth_bps=1.0,
+            )
+
+        smooth = envelope(110.0, 100.0)
+        bursty = envelope(200.0, 100.0)
+        assert policy_multiplexing_gain(bursty, smooth) == pytest.approx(
+            2.0 / 1.1
+        )
+        assert policy_multiplexing_gain(smooth, smooth) == pytest.approx(1.0)
