@@ -1,0 +1,106 @@
+"""Bench: latency-aware matchmaking at 10^5 players, cached vs uncached.
+
+The RTT-scoring policies add a per-attempt vector score on top of the
+epoch loop, so the closed loop's two costs are re-measured with
+``latency_aware`` placement: the epoch engine itself (pool draws +
+chronological admission + per-attempt occupancy/RTT scoring) over a
+100 000-player pool on a 32-server, 4-region facility, and the sharded
+per-server traffic synthesis over the resulting assignments, cold
+(simulated) versus warm (replayed from a
+:class:`~repro.fleet.cache.ShardCache`), asserting the replay is
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fleet.cache import ShardCache
+from repro.fleet.profiles import hosting_facility
+from repro.fleet.scenario import FleetScenario
+from repro.matchmaking import PoolConfig, RttMatrix, simulate_matchmaking
+
+#: The headline pool: 10^5 players sharing one facility.
+POOL_SIZE = 100_000
+#: Servers in the big-pool facility.
+BIG_FLEET_SERVERS = 32
+#: Epoch-loop horizon for the throughput bench (30 epochs).
+BIG_HORIZON_S = 1800.0
+
+#: Smaller facility for the cached-vs-uncached aggregation pair.
+CACHE_SERVERS = 8
+CACHE_HORIZON_S = 1800.0
+
+
+def big_pool_run():
+    fleet = hosting_facility(
+        n_servers=BIG_FLEET_SERVERS, duration=BIG_HORIZON_S, seed=0
+    )
+    config = PoolConfig.for_fleet(
+        fleet,
+        pool_size=POOL_SIZE,
+        demand_ratio=2.0,
+        epoch_length=60.0,
+        session_duration_mean=300.0,
+    )
+    rtt = RttMatrix.for_fleet(fleet, config.region_profile, seed=0)
+    return simulate_matchmaking(fleet, "latency_aware", config, rtt=rtt)
+
+
+def test_bench_epoch_loop_with_rtt_scoring_at_1e5_players(benchmark):
+    """Epoch-loop throughput with RTT scoring: 10^5 players, 32 servers."""
+    result = benchmark.pedantic(big_pool_run, rounds=1, iterations=1)
+    assert result.config.pool_size == POOL_SIZE
+    assert result.admission.admitted > 0
+    assert np.all(
+        result.occupancy <= np.asarray(result.capacities)[:, None]
+    )
+    # saturating demand must actually exercise the admission path
+    assert result.admission.rejected > 0
+    # and every admission recorded the RTT it was placed at
+    assert result.all_session_rtts().size == result.admission.admitted
+    assert np.all(result.all_session_rtts() > 0)
+
+
+@pytest.fixture(scope="module")
+def latency_assignment():
+    fleet = hosting_facility(
+        n_servers=CACHE_SERVERS, duration=CACHE_HORIZON_S, seed=1
+    )
+    config = PoolConfig.for_fleet(fleet, demand_ratio=1.5, epoch_length=60.0)
+    return simulate_matchmaking(fleet, "latency_aware", config)
+
+
+def test_bench_latency_aware_traffic_uncached(benchmark, latency_assignment):
+    """Cold facility aggregation: every per-server series simulated."""
+    series = benchmark.pedantic(
+        lambda: FleetScenario.from_matchmaking(
+            latency_assignment
+        ).aggregate_per_second(workers=1),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(series) == int(CACHE_HORIZON_S)
+
+
+def test_bench_latency_aware_traffic_cached(
+    benchmark, latency_assignment, tmp_path
+):
+    """Warm facility aggregation: per-server series replayed from disk."""
+    cold_cache = ShardCache(tmp_path / "shards")
+    cold = FleetScenario.from_matchmaking(
+        latency_assignment, cache=cold_cache
+    ).aggregate_per_second(workers=1)
+    assert cold_cache.stats.stores == CACHE_SERVERS
+
+    def warm_run():
+        return FleetScenario.from_matchmaking(
+            latency_assignment, cache=ShardCache(tmp_path / "shards")
+        ).aggregate_per_second(workers=1)
+
+    warm = benchmark.pedantic(warm_run, rounds=1, iterations=1)
+    assert all(
+        np.array_equal(getattr(cold, name), getattr(warm, name))
+        for name in ("in_counts", "out_counts", "in_bytes", "out_bytes")
+    )

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Latency-aware matchmaking: the occupancy-vs-RTT frontier.
+
+A matchmaker that fills slots blindly trades away exactly the QoE a
+latency-sensitive operator provisions for.  This study gives every
+player a region, builds the facility's seeded region×server RTT matrix,
+and runs one shared player pool through all six selection policies —
+then sweeps the ``latency_aware`` score weight β to walk the frontier
+between "every slot earning money" and "every player near their
+server".
+
+Usage::
+
+    python examples/latency_matchmaking.py
+"""
+
+from repro.core.facility import occupancy_rtt_frontier
+from repro.fleet import hosting_facility
+from repro.matchmaking import (
+    POLICIES,
+    LatencyAwarePolicy,
+    PoolConfig,
+    RttMatrix,
+    simulate_matchmaking,
+)
+
+N_SERVERS = 6
+HORIZON_S = 3600.0  # one busy hour
+DEMAND_RATIO = 1.5  # offered load over capacity: saturating
+BETA_SWEEP = (0.0, 0.25, 1.0, 4.0)
+
+
+def main() -> None:
+    fleet = hosting_facility(n_servers=N_SERVERS, duration=HORIZON_S, seed=0)
+    config = PoolConfig.for_fleet(
+        fleet, demand_ratio=DEMAND_RATIO, epoch_length=60.0
+    )
+    rtt = RttMatrix.for_fleet(fleet, config.region_profile, seed=0)
+    slots = sum(p.max_players for p in fleet.server_profiles())
+    print(
+        f"{N_SERVERS}-server facility ({slots} slots), pool of "
+        f"{config.pool_size} players across {rtt.n_regions} regions\n"
+    )
+    print(rtt.describe())
+
+    print("\none demand process, six placement rules")
+    points = {}
+    for name in POLICIES:
+        result = simulate_matchmaking(fleet, name, config, rtt=rtt)
+        print(result.describe())
+        points[name] = (
+            result.occupancy_stats().utilization,
+            result.latency_stats().mean_ms,
+        )
+
+    frontier = occupancy_rtt_frontier(points)
+    print("\noccupancy-vs-RTT frontier (util, mean session RTT):")
+    for name, (utilization, mean_ms) in sorted(
+        points.items(), key=lambda kv: -kv[1][0]
+    ):
+        marker = "*" if name in frontier else " "
+        print(f"  {marker} {name:<14} {utilization:6.1%}   {mean_ms:6.1f} ms")
+    print("  (* = Pareto-efficient: nothing fills more AND pings less)")
+
+    print("\nwalking the trade-off: latency_aware, alpha=1, beta swept")
+    for beta in BETA_SWEEP:
+        result = simulate_matchmaking(
+            fleet, LatencyAwarePolicy(alpha=1.0, beta=beta), config, rtt=rtt
+        )
+        stats = result.latency_stats()
+        print(
+            f"  beta {beta:4.2f}: utilization "
+            f"{result.occupancy_stats().utilization:6.1%}, "
+            f"rtt mean {stats.mean_ms:6.1f} ms, p95 {stats.p_ms:6.1f} ms"
+        )
+    print(
+        "\nbeta = 0 is least-loaded placement (the parity the test suite "
+        "pins); raising beta buys session RTT with the facility's spare "
+        "slots — the modern matchmaker dial."
+    )
+
+
+if __name__ == "__main__":
+    main()

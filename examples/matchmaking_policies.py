@@ -1,12 +1,13 @@
 #!/usr/bin/env python
-"""Matchmaking policy study: the same players, four placement rules.
+"""Matchmaking policy study: the same players, six placement rules.
 
 The paper's busy server stayed pinned at 22 players because its player
 pool refilled every churned slot — and refused 8000+ connections doing
 it.  At facility scale that feedback belongs to the *matchmaker*: this
 study feeds one shared, diurnally modulated player pool through each of
-the four server-selection policies and shows how placement alone moves
-rejection, occupancy and uplink burstiness.
+the six server-selection policies and shows how placement alone moves
+rejection, occupancy and uplink burstiness (see
+``examples/latency_matchmaking.py`` for the RTT side of the story).
 
 Usage::
 

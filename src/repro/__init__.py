@@ -29,11 +29,13 @@ Top-level layout:
   the :mod:`repro.kernels` queue kernels, streaming per-rack execution,
   and per-hop loss/latency reports;
 * :mod:`repro.matchmaking` — fleet-level closed loop: one shared,
-  diurnally modulated player pool assigned to servers by pluggable
-  selection policies (random / least-loaded / sticky / capacity-aware
-  admission control), making facility load endogenous to placement;
-  deterministic epoch engine plus sharded, cacheable per-server traffic
-  synthesis over the assignments;
+  diurnally modulated player pool — each player carrying a region —
+  assigned to servers by pluggable selection policies (random /
+  least-loaded / sticky / capacity-aware admission control /
+  lowest-RTT / latency-aware occupancy-vs-QoE scoring over a seeded
+  region×server RTT matrix), making facility load endogenous to
+  placement; deterministic epoch engine plus sharded, cacheable
+  per-server traffic synthesis over the assignments;
 * :mod:`repro.experiments` — one module per table/figure plus the
   fleet provisioning, facility network and matchmaking experiments,
   with a CLI runner (``repro-experiments``, see EXPERIMENTS.md).

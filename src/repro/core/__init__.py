@@ -11,8 +11,10 @@ from repro.core.facility import (
     AdmissionStats,
     FacilityAnalysis,
     FacilityEnvelope,
+    LatencyStats,
     MultiplexingGain,
     OccupancyStats,
+    occupancy_rtt_frontier,
     oversubscribed_capacity,
     policy_multiplexing_gain,
 )
@@ -70,6 +72,7 @@ __all__ = [
     "SourceModel",
     "GeneralTraceInfo",
     "InterarrivalAnalysis",
+    "LatencyStats",
     "LinearityResult",
     "MAP_BOUNDARY",
     "MIN_FLOW_DURATION",
@@ -92,6 +95,7 @@ __all__ = [
     "fit_source_model",
     "format_value",
     "match_expected_dips",
+    "occupancy_rtt_frontier",
     "oversubscribed_capacity",
     "policy_multiplexing_gain",
     "regenerate",

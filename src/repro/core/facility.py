@@ -18,7 +18,7 @@ fleets stream through it without materialising every series together.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -211,6 +211,84 @@ class OccupancyStats:
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"q must lie in [0, 1]: {q!r}")
         return int(np.searchsorted(np.cumsum(self.distribution), q))
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Session-RTT distribution of one placement run (the QoE side).
+
+    Built from the per-session RTTs a matchmaking run recorded (e.g.
+    :meth:`repro.matchmaking.MatchmakingResult.latency_stats`): how far
+    from their servers did admitted players actually end up?  ``p_ms``
+    is the chosen ``percentile`` of session RTT — the tail a
+    latency-sensitive operator provisions against, the way
+    :class:`FacilityEnvelope` provisions bandwidth against a percentile
+    of load.  An empty run (no admissions) reports zeros.
+    """
+
+    count: int
+    percentile: float
+    mean_ms: float
+    median_ms: float
+    p_ms: float
+    max_ms: float
+
+    @classmethod
+    def from_rtts(
+        cls, rtts: np.ndarray, percentile: float = 95.0
+    ) -> "LatencyStats":
+        """Summarise a flat array of per-session RTTs (milliseconds)."""
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError(f"percentile must lie in (0, 100]: {percentile!r}")
+        rtts = np.asarray(rtts, dtype=float)
+        if rtts.ndim != 1:
+            raise ValueError(f"rtts must be 1-D, got shape {rtts.shape}")
+        if rtts.size == 0:
+            return cls(
+                count=0,
+                percentile=float(percentile),
+                mean_ms=0.0,
+                median_ms=0.0,
+                p_ms=0.0,
+                max_ms=0.0,
+            )
+        if np.any(rtts < 0):
+            raise ValueError("session RTTs must be non-negative")
+        return cls(
+            count=int(rtts.size),
+            percentile=float(percentile),
+            mean_ms=float(rtts.mean()),
+            median_ms=float(np.median(rtts)),
+            p_ms=float(np.percentile(rtts, percentile)),
+            max_ms=float(rtts.max()),
+        )
+
+
+def occupancy_rtt_frontier(
+    points: Mapping[str, Tuple[float, float]]
+) -> Tuple[str, ...]:
+    """Pareto-efficient policies on the occupancy-vs-RTT trade-off.
+
+    ``points`` maps a policy name to ``(utilization, mean session RTT
+    ms)``.  A policy is on the frontier iff no other policy achieves at
+    least its utilization at no more than its RTT with one of the two
+    strictly better — the set an operator actually chooses from, since
+    anything off the frontier gives up occupancy *and* QoE.  Returned in
+    descending-utilization order (ties by ascending RTT, then name).
+    """
+    items = sorted(points.items(), key=lambda kv: (-kv[1][0], kv[1][1], kv[0]))
+    frontier = []
+    for name, (utilization, rtt_ms) in items:
+        dominated = any(
+            other_util >= utilization
+            and other_rtt <= rtt_ms
+            and (other_util > utilization or other_rtt < rtt_ms)
+            for other_name, (other_util, other_rtt) in points.items()
+            if other_name != name
+        )
+        if not dominated:
+            frontier.append(name)
+    return tuple(frontier)
 
 
 def policy_multiplexing_gain(

@@ -5,9 +5,9 @@ at capacity because the player pool refills it as fast as sessions churn
 (§II's 8000+ refused connections are that pool knocking).  This
 experiment closes the loop at facility scale: one shared, diurnally
 modulated player pool feeds a heterogeneous fleet through each of the
-four :mod:`repro.matchmaking` selection policies — the *same* demand
-process and per-server traffic seeds, so policies differ only in
-placement — and checks:
+six :mod:`repro.matchmaking` selection policies — the *same* demand
+process, RTT geometry and per-server traffic seeds, so policies differ
+only in placement — and checks:
 
 * admission is safe: no policy ever exceeds a server's slot count;
 * the closed loop saturates: under demand above capacity, load-aware
@@ -21,17 +21,24 @@ placement — and checks:
   server far more often than chance;
 * admission control converts refusals into retries: only
   ``capacity_aware`` schedules them;
+* placement buys QoE: ``latency_aware`` (score ``α·free-slot share −
+  β·normalised RTT``) achieves a lower mean session RTT than
+  ``least_loaded`` while keeping utilization within a few points — the
+  occupancy-vs-RTT frontier reported in the notes;
 * the whole pipeline stays deterministic: sharded (2-worker) facility
   aggregates are bit-identical to serial ones, policy by policy.
 
-Occupancy, rejection and policy-vs-policy multiplexing-gain deltas are
-reported per policy in the notes.  ``repro-experiments matchmaking
---policy NAME --pool-size N`` narrows the run to one policy and/or
-resizes the pool.
+Occupancy, rejection, session-RTT and policy-vs-policy multiplexing-gain
+deltas are reported per policy in the notes, along with the Pareto
+frontier over (utilization, mean RTT).  ``repro-experiments matchmaking
+--policy NAME --pool-size N --rtt-profile NAME --alpha A --beta B``
+narrows the run to one policy, resizes the pool, swaps the RTT geometry,
+or reweights the latency-aware score.
 
 Window/scaling policy: 6 heterogeneous servers over 3600 s, pool of
-five players per slot at demand ratio 1.5 (saturating), 60 s epochs;
-count-level per-server traffic (the provisioning resolution).
+five players per slot at demand ratio 1.5 (saturating), 60 s epochs,
+4-region ``global`` RTT geometry; count-level per-server traffic (the
+provisioning resolution).
 """
 
 from __future__ import annotations
@@ -42,7 +49,9 @@ import numpy as np
 
 from repro.core.facility import (
     FacilityEnvelope,
+    LatencyStats,
     OccupancyStats,
+    occupancy_rtt_frontier,
     policy_multiplexing_gain,
 )
 from repro.core.report import ComparisonRow
@@ -50,10 +59,19 @@ from repro.experiments.base import ExperimentOutput
 from repro.fleet.profiles import hosting_facility
 from repro.fleet.scenario import FleetScenario
 from repro.gameserver.fluid import fluid_series_equal
-from repro.matchmaking import POLICIES, PoolConfig, simulate_matchmaking
+from repro.matchmaking import (
+    POLICIES,
+    RTT_PROFILES,
+    LatencyAwarePolicy,
+    make_rtt_profile,
+    PoolConfig,
+    RttMatrix,
+    simulate_matchmaking,
+    validate_score_weight,
+)
 
 EXPERIMENT_ID = "matchmaking"
-TITLE = "Fleet-level closed loop: one player pool, four selection policies"
+TITLE = "Fleet-level closed loop: one player pool, six selection policies"
 FACILITY_SERVERS = 6
 HORIZON_S = 3600.0
 EPOCH_S = 60.0
@@ -63,15 +81,26 @@ DEMAND_RATIO = 1.5
 WARMUP_EPOCHS = 20
 #: Worker count of the sharded determinism cross-check.
 VERIFY_WORKERS = 2
+#: Default RTT geometry of the sweep.
+RTT_PROFILE = "global"
+#: Default latency-aware score weights (occupancy vs normalised RTT).
+ALPHA = 1.0
+BETA = 1.0
+#: Utilization points ``latency_aware`` may give up against least_loaded.
+UTILIZATION_SLACK = 0.05
 
 #: Process-wide overrides installed by ``repro-experiments --policy`` /
-#: ``--pool-size`` (mirrors the ``--workers`` plumbing).
+#: ``--pool-size`` / ``--rtt-profile`` / ``--alpha`` / ``--beta``
+#: (mirrors the ``--workers`` plumbing).
 _default_policy: Optional[str] = None
 _default_pool_size: Optional[int] = None
+_default_rtt_profile: Optional[str] = None
+_default_alpha: Optional[float] = None
+_default_beta: Optional[float] = None
 
 
 def set_default_policy(policy: Optional[str]) -> None:
-    """Restrict the experiment to one policy (``None`` restores all four)."""
+    """Restrict the experiment to one policy (``None`` restores all six)."""
     global _default_policy
     if policy is not None and policy not in POLICIES:
         raise KeyError(
@@ -88,6 +117,38 @@ def set_default_pool_size(pool_size: Optional[int]) -> None:
     _default_pool_size = pool_size
 
 
+def set_default_rtt_profile(profile: Optional[str]) -> None:
+    """Override the RTT geometry (``None`` restores ``global``)."""
+    global _default_rtt_profile
+    if profile is not None:
+        make_rtt_profile(profile)  # KeyError for unknown names
+    _default_rtt_profile = profile
+
+
+def set_default_alpha(alpha: Optional[float]) -> None:
+    """Override the latency-aware occupancy weight (``None`` restores 1)."""
+    global _default_alpha
+    _default_alpha = (
+        None if alpha is None else validate_score_weight("alpha", alpha)
+    )
+
+
+def set_default_beta(beta: Optional[float]) -> None:
+    """Override the latency-aware RTT weight (``None`` restores 1)."""
+    global _default_beta
+    _default_beta = (
+        None if beta is None else validate_score_weight("beta", beta)
+    )
+
+
+def _latency_aware_policy() -> LatencyAwarePolicy:
+    """The latency_aware instance to simulate, honouring the overrides."""
+    return LatencyAwarePolicy(
+        alpha=ALPHA if _default_alpha is None else _default_alpha,
+        beta=BETA if _default_beta is None else _default_beta,
+    )
+
+
 def run(seed: int = 0) -> ExperimentOutput:
     """Run every selected policy under one demand process; compare."""
     fleet = hosting_facility(
@@ -99,17 +160,34 @@ def run(seed: int = 0) -> ExperimentOutput:
         demand_ratio=DEMAND_RATIO,
         epoch_length=EPOCH_S,
     )
+    # one geometry for the whole sweep: every policy sees the same
+    # regions, server homes and per-pair RTTs (common random numbers)
+    rtt = RttMatrix.for_fleet(
+        fleet,
+        config.region_profile,
+        profile=_default_rtt_profile or RTT_PROFILE,
+        seed=seed,
+    )
     policy_names = (
         [_default_policy] if _default_policy is not None else list(POLICIES)
     )
+    # constructed once: the single source of the effective α/β, for both
+    # the simulated policy and the comparison-row regime tests below
+    aware_policy = _latency_aware_policy()
 
     results: Dict[str, object] = {}
     envelopes: Dict[str, FacilityEnvelope] = {}
     occupancies: Dict[str, OccupancyStats] = {}
+    latencies: Dict[str, LatencyStats] = {}
     aggregates: Dict[str, object] = {}
     identical = True
     for name in policy_names:
-        result = simulate_matchmaking(fleet, name, config)
+        result = simulate_matchmaking(
+            fleet,
+            aware_policy if name == "latency_aware" else name,
+            config,
+            rtt=rtt,
+        )
         serial = FleetScenario.from_matchmaking(result).aggregate_per_second(
             workers=1
         )
@@ -123,6 +201,9 @@ def run(seed: int = 0) -> ExperimentOutput:
         occupancies[name] = OccupancyStats.from_occupancy(
             result.occupancy[:, WARMUP_EPOCHS:], np.asarray(result.capacities)
         )
+        # same warmup cut as the occupancy claims, so the RTT axis of
+        # every row and of the frontier is judged on steady state too
+        latencies[name] = result.latency_stats(after=WARMUP_EPOCHS * EPOCH_S)
 
     capacity_respected = all(
         bool(
@@ -184,6 +265,55 @@ def run(seed: int = 0) -> ExperimentOutput:
                 ),
             )
         )
+    if "least_loaded" in results and "latency_aware" in results:
+        # --beta 0 and --rtt-profile uniform deliberately disable the
+        # latency term (the pinned parity regimes), so demanding a
+        # *strictly* lower RTT there would fail the documented settings;
+        # with alpha 0 as well the score is constant over open servers
+        # and placement is arbitrary — no RTT claim to pin at all
+        aware_mean = latencies["latency_aware"].mean_ms
+        baseline_mean = latencies["least_loaded"].mean_ms
+        latency_disabled = aware_policy.beta == 0 or rtt.is_uniform
+        if not latency_disabled:
+            rows.append(
+                ComparisonRow(
+                    "latency_aware lowers mean session RTT below least_loaded",
+                    1.0,
+                    float(aware_mean < baseline_mean),
+                )
+            )
+        elif aware_policy.alpha > 0:
+            rows.append(
+                ComparisonRow(
+                    "latency_aware matches least_loaded RTT "
+                    "(latency term disabled)",
+                    1.0,
+                    float(aware_mean <= baseline_mean),
+                )
+            )
+        rows.append(
+            ComparisonRow(
+                "latency_aware keeps utilization within "
+                f"{UTILIZATION_SLACK:.0%} of least_loaded",
+                1.0,
+                float(
+                    occupancies["latency_aware"].utilization
+                    >= occupancies["least_loaded"].utilization
+                    - UTILIZATION_SLACK
+                ),
+            )
+        )
+    if "least_loaded" in results and "lowest_rtt" in results:
+        rows.append(
+            ComparisonRow(
+                "lowest_rtt mean session RTT at or below least_loaded",
+                1.0,
+                float(
+                    latencies["lowest_rtt"].mean_ms
+                    <= latencies["least_loaded"].mean_ms
+                ),
+            )
+        )
     if len(results) == len(POLICIES):
         rows.append(
             ComparisonRow(
@@ -207,14 +337,19 @@ def run(seed: int = 0) -> ExperimentOutput:
     notes = [
         f"{FACILITY_SERVERS} servers ({sum(fleet.server_profile(i).max_players for i in range(FACILITY_SERVERS))} slots), "
         f"pool {config.pool_size} players, demand ratio {DEMAND_RATIO}, "
-        f"{HORIZON_S / 60:.0f} min in {EPOCH_S:.0f} s epochs",
-        "policy          admit   reject%   util%   affinity%   peak/mean"
+        f"{HORIZON_S / 60:.0f} min in {EPOCH_S:.0f} s epochs, "
+        f"rtt profile {rtt.profile.name!r} "
+        f"({len(rtt.region_names)} regions); util%/rtt columns are "
+        f"post-warmup (first {WARMUP_EPOCHS} epochs dropped)",
+        "policy          admit   reject%   util%   affinity%   "
+        "rtt ms (mean/p95)   peak/mean"
         + gain_header,
     ]
     for name in policy_names:
         result = results[name]
         stats = occupancies[name]
         envelope = envelopes[name]
+        latency = latencies[name]
         gain_cell = (
             f"   {policy_multiplexing_gain(reference, envelope):14.3f}"
             if reference is not None
@@ -224,9 +359,20 @@ def run(seed: int = 0) -> ExperimentOutput:
             f"{name:<14} {result.admission.admitted:6d}   "
             f"{result.rejection_rate:7.1%}  {stats.utilization:6.1%}   "
             f"{result.affinity_fraction:9.1%}   "
+            f"{latency.mean_ms:8.1f} / {latency.p_ms:6.1f}   "
             f"{envelope.peak_to_mean_pps:9.2f}"
             + gain_cell
         )
+    frontier = occupancy_rtt_frontier(
+        {
+            name: (occupancies[name].utilization, latencies[name].mean_ms)
+            for name in policy_names
+        }
+    )
+    notes.append(
+        "occupancy-vs-RTT frontier (post-warmup utilization, mean session "
+        "RTT): " + ", ".join(frontier)
+    )
     return ExperimentOutput(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
@@ -237,6 +383,9 @@ def run(seed: int = 0) -> ExperimentOutput:
             "aggregates": aggregates,
             "envelopes": envelopes,
             "occupancy_stats": occupancies,
+            "latency_stats": latencies,
+            "frontier": frontier,
+            "rtt": rtt,
             "config": config,
         },
     )

@@ -88,9 +88,6 @@ DESCRIPTIONS: Dict[str, str] = {
     module.EXPERIMENT_ID: module.TITLE for module in _MODULES
 }
 
-#: Server-selection policies ``--policy`` accepts (matchmaking experiment).
-_POLICY_CHOICES = matchmaking.POLICIES
-
 
 def run_experiments(ids: List[str], seed: int = 0) -> List[ExperimentOutput]:
     """Run the named experiments and return their outputs."""
@@ -114,6 +111,20 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _score_weight(text: str) -> float:
+    """argparse type for ``--alpha``/``--beta``: a finite float >= 0."""
+    from repro.matchmaking import validate_score_weight
+
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {text!r}")
+    try:
+        return validate_score_weight("value", value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
 
 
 def _cache_dir(text: str) -> str:
@@ -177,10 +188,12 @@ def main(argv: List[str] = None) -> int:
     )
     parser.add_argument(
         "--policy",
-        choices=sorted(_POLICY_CHOICES),
+        # derived from the policy registry, so a newly registered policy
+        # is immediately addressable from the CLI
+        choices=sorted(matchmaking.POLICIES),
         default=None,
         help="restrict the matchmaking experiment to one server-selection "
-        "policy (default: compare all four)",
+        "policy (default: compare all of them)",
     )
     parser.add_argument(
         "--pool-size",
@@ -189,6 +202,29 @@ def main(argv: List[str] = None) -> int:
         metavar="N",
         help="shared player-pool size for the matchmaking experiment "
         "(default: five players per facility slot)",
+    )
+    parser.add_argument(
+        "--rtt-profile",
+        choices=sorted(matchmaking.RTT_PROFILES),
+        default=None,
+        help="region/server RTT geometry for the matchmaking experiment "
+        "(default: global; uniform makes every pair equidistant)",
+    )
+    parser.add_argument(
+        "--alpha",
+        type=_score_weight,
+        default=None,
+        metavar="A",
+        help="latency_aware occupancy weight: score = alpha * free-slot "
+        "share - beta * normalised RTT (default: 1.0)",
+    )
+    parser.add_argument(
+        "--beta",
+        type=_score_weight,
+        default=None,
+        metavar="B",
+        help="latency_aware RTT weight (default: 1.0; 0 degenerates to "
+        "least-loaded placement)",
     )
     parser.add_argument(
         "--list",
@@ -218,6 +254,12 @@ def main(argv: List[str] = None) -> int:
         matchmaking.set_default_policy(args.policy)
     if args.pool_size is not None:
         matchmaking.set_default_pool_size(args.pool_size)
+    if args.rtt_profile is not None:
+        matchmaking.set_default_rtt_profile(args.rtt_profile)
+    if args.alpha is not None:
+        matchmaking.set_default_alpha(args.alpha)
+    if args.beta is not None:
+        matchmaking.set_default_beta(args.beta)
 
     try:
         ids = args.experiments or list(REGISTRY)
@@ -235,6 +277,9 @@ def main(argv: List[str] = None) -> int:
             set_default_cache(None)
         matchmaking.set_default_policy(None)
         matchmaking.set_default_pool_size(None)
+        matchmaking.set_default_rtt_profile(None)
+        matchmaking.set_default_alpha(None)
+        matchmaking.set_default_beta(None)
     failures = 0
     for output in outputs:
         print(output.render())

@@ -8,15 +8,24 @@ replicas into one coupled facility:
 * :mod:`repro.matchmaking.pool` — :class:`PoolConfig`: a finite,
   diurnally modulated player pool (idle → attempting → playing → idle)
   whose arrival stream is drained by admissions and refilled by churn —
-  facility load becomes *endogenous* to placement decisions;
+  facility load becomes *endogenous* to placement decisions; players
+  carry per-id traits including a region drawn from a
+  :class:`RegionProfile`;
+* :mod:`repro.matchmaking.rtt` — :class:`RttMatrix`: the seeded
+  region×server round-trip geometry (geodesic-style base latencies,
+  per-link-class jitter, deterministic server home regions) behind
+  latency-aware placement, with stock :data:`RTT_PROFILES`
+  (``global`` / ``continental`` / ``uniform``);
 * :mod:`repro.matchmaking.policies` — pluggable
   :class:`SelectionPolicy` implementations: ``random``,
-  ``least_loaded``, ``sticky`` (session affinity) and
-  ``capacity_aware`` (admission control with retry/balk);
+  ``least_loaded``, ``sticky`` (session affinity), ``capacity_aware``
+  (admission control with retry/balk), ``lowest_rtt`` (ping-first) and
+  ``latency_aware`` (α·free-slot share − β·normalised RTT, the
+  occupancy-vs-QoE trade-off);
 * :mod:`repro.matchmaking.engine` — the deterministic epoch loop:
   per-epoch pool/assignment streams and per-``(server, epoch)``
-  duration streams, producing per-server session assignments and
-  occupancy traces (:class:`MatchmakingResult`);
+  duration streams, producing per-server session assignments,
+  occupancy traces and per-session RTTs (:class:`MatchmakingResult`);
 * :mod:`repro.matchmaking.traffic` — picklable per-server traffic tasks
   over assigned populations, sharded through
   :func:`repro.fleet.execution.shard_map_fold` and cached by
@@ -27,11 +36,12 @@ Downstream wiring:
 :meth:`repro.fleet.scenario.FleetScenario.from_matchmaking` drives the
 fleet aggregates from a result;
 :func:`repro.facilitynet.pipeline.rack_ingress_traces` accepts
-``assignments`` for endogenous rack ingress; facility-level occupancy
-and admission metrics live in :mod:`repro.core.facility`; the
-``matchmaking`` experiment (``repro-experiments matchmaking --policy
-least_loaded --pool-size 600``) compares all four policies under one
-demand process.
+``assignments`` for endogenous rack ingress; facility-level occupancy,
+admission and latency metrics (``LatencyStats``, the occupancy-vs-RTT
+frontier) live in :mod:`repro.core.facility`; the ``matchmaking``
+experiment (``repro-experiments matchmaking --policy latency_aware
+--pool-size 600 --rtt-profile global --alpha 1 --beta 1``) compares all
+six policies under one demand process and RTT geometry.
 """
 
 from repro.matchmaking.engine import (
@@ -42,13 +52,22 @@ from repro.matchmaking.engine import (
 from repro.matchmaking.policies import (
     POLICIES,
     CapacityAwarePolicy,
+    LatencyAwarePolicy,
     LeastLoadedPolicy,
+    LowestRttPolicy,
     RandomPolicy,
     SelectionPolicy,
     StickyPolicy,
     make_policy,
+    validate_score_weight,
 )
-from repro.matchmaking.pool import PlayerTraits, PoolConfig
+from repro.matchmaking.pool import PlayerTraits, PoolConfig, RegionProfile
+from repro.matchmaking.rtt import (
+    RTT_PROFILES,
+    RttMatrix,
+    RttProfile,
+    make_rtt_profile,
+)
 from repro.matchmaking.traffic import (
     AssignedSeriesTask,
     AssignedWindowTask,
@@ -59,20 +78,28 @@ from repro.matchmaking.traffic import (
 
 __all__ = [
     "POLICIES",
+    "RTT_PROFILES",
     "AssignedSeriesTask",
     "AssignedWindowTask",
     "CapacityAwarePolicy",
+    "LatencyAwarePolicy",
     "LeastLoadedPolicy",
+    "LowestRttPolicy",
     "MatchmakingResult",
     "MatchmakingSimulator",
     "PlayerTraits",
     "PoolConfig",
     "RandomPolicy",
+    "RegionProfile",
+    "RttMatrix",
+    "RttProfile",
     "SelectionPolicy",
     "StickyPolicy",
     "assigned_population",
     "make_policy",
+    "make_rtt_profile",
     "simulate_assigned_series",
     "simulate_assigned_window",
     "simulate_matchmaking",
+    "validate_score_weight",
 ]

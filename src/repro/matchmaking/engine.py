@@ -32,17 +32,19 @@ Determinism and shard-friendliness:
 from __future__ import annotations
 
 import heapq
+import inspect
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.facility import AdmissionStats, OccupancyStats
+from repro.core.facility import AdmissionStats, LatencyStats, OccupancyStats
 from repro.fleet.profiles import FleetProfile
 from repro.gameserver.population import SessionRecord
 from repro.matchmaking.policies import SelectionPolicy, make_policy
 from repro.matchmaking.pool import PlayerTraits, PoolConfig
+from repro.matchmaking.rtt import RttMatrix
 from repro.sim.random import derive_seed, sample_lognormal
 
 #: Player lifecycle states.
@@ -71,6 +73,10 @@ class MatchmakingResult:
     per_server_rejections: np.ndarray
     #: Admitted sessions whose server equals the player's previous one.
     repeat_assignments: int
+    #: The region×server RTT geometry the run was placed against.
+    rtt: Optional[RttMatrix] = None
+    #: ``session_rtts[s][i]`` is the RTT (ms) of ``sessions[s][i]``.
+    session_rtts: Tuple[np.ndarray, ...] = ()
 
     # ------------------------------------------------------------------
     @property
@@ -101,16 +107,51 @@ class MatchmakingResult:
             self.occupancy, np.asarray(self.capacities)
         )
 
+    def all_session_rtts(self, after: float = 0.0) -> np.ndarray:
+        """Admitted sessions' RTTs (ms), grouped by server index.
+
+        Concatenated per server — within a server the admission order is
+        kept, but the flat array is *not* globally chronological; it
+        feeds order-invariant statistics (:meth:`latency_stats`).
+        ``after`` drops sessions starting before that time, the warmup
+        cut the experiment applies to occupancy claims.
+        """
+        if not self.session_rtts:
+            return np.empty(0, dtype=float)
+        parts = []
+        for session_list, rtts in zip(self.sessions, self.session_rtts):
+            rtts = np.asarray(rtts, dtype=float)
+            if after > 0.0:
+                starts = np.fromiter(
+                    (record.start for record in session_list),
+                    dtype=float,
+                    count=len(session_list),
+                )
+                rtts = rtts[starts >= after]
+            parts.append(rtts)
+        return np.concatenate(parts)
+
+    def latency_stats(
+        self, percentile: float = 95.0, after: float = 0.0
+    ) -> LatencyStats:
+        """QoE summary of the admitted sessions' RTTs (optionally post-``after``)."""
+        return LatencyStats.from_rtts(
+            self.all_session_rtts(after=after), percentile=percentile
+        )
+
     def describe(self) -> str:
-        """One-line summary: policy, admissions, rejection, occupancy."""
+        """One-line summary: policy, admissions, rejection, occupancy, RTT."""
         stats = self.occupancy_stats()
-        return (
+        line = (
             f"{self.policy:>14}: {self.admission.admitted} admitted / "
             f"{self.admission.attempts} attempts, "
             f"rejection {self.rejection_rate:6.1%}, "
             f"utilization {stats.utilization:5.1%}, "
             f"affinity {self.affinity_fraction:5.1%}"
         )
+        if self.rtt is not None:
+            line += f", rtt {self.latency_stats().mean_ms:6.1f} ms"
+        return line
 
 
 class MatchmakingSimulator:
@@ -130,6 +171,13 @@ class MatchmakingSimulator:
     seed:
         Master seed of the pool/assignment streams; defaults to the
         fleet's seed so one integer reproduces the whole closed loop.
+    rtt:
+        The facility's :class:`~repro.matchmaking.rtt.RttMatrix`;
+        defaults to :meth:`RttMatrix.for_fleet
+        <repro.matchmaking.rtt.RttMatrix.for_fleet>` over the pool's
+        region profile and this simulator's seed, so every policy sees
+        geometry and records per-session RTTs even when it places
+        latency-blind.
     """
 
     def __init__(
@@ -138,6 +186,7 @@ class MatchmakingSimulator:
         policy: Union[str, SelectionPolicy],
         config: Optional[PoolConfig] = None,
         seed: Optional[int] = None,
+        rtt: Optional[RttMatrix] = None,
     ) -> None:
         self.fleet = fleet
         self.policy = make_policy(policy)
@@ -149,6 +198,31 @@ class MatchmakingSimulator:
                 f"horizon {fleet.horizon!r} (assignments drive per-server "
                 "traffic over the same window)"
             )
+        self.rtt = (
+            rtt
+            if rtt is not None
+            else RttMatrix.for_fleet(
+                fleet, self.config.region_profile, seed=self.seed
+            )
+        )
+        if self.rtt.region_names != self.config.region_profile.names:
+            raise ValueError(
+                f"RTT matrix regions {self.rtt.region_names!r} do not match "
+                f"the pool's {self.config.region_profile.names!r}"
+            )
+        if self.rtt.n_servers != fleet.n_servers:
+            raise ValueError(
+                f"RTT matrix covers {self.rtt.n_servers} servers; "
+                f"the fleet has {fleet.n_servers}"
+            )
+        # out-of-tree policies written against the pre-RTT signature
+        # (occupancy, capacities, last_server, rng) keep working: only
+        # pass the RTT view to select() implementations that accept it
+        parameters = inspect.signature(self.policy.select).parameters
+        self._select_takes_rtt = "rtt" in parameters or any(
+            p.kind is inspect.Parameter.VAR_KEYWORD
+            for p in parameters.values()
+        )
 
     # ------------------------------------------------------------------
     def run(self) -> MatchmakingResult:
@@ -163,12 +237,17 @@ class MatchmakingSimulator:
         horizon = config.horizon
 
         traits = PlayerTraits.draw(config, self.seed)
+        # one row view per region, extracted once instead of re-indexing
+        # the matrix on every connection attempt
+        rtt_rows = [self.rtt.row(r) for r in range(self.rtt.n_regions)]
+        player_region = traits.region_index
         player_state = np.zeros(config.pool_size, dtype=np.int8)
         last_server = np.full(config.pool_size, -1, dtype=np.int64)
 
         occupancy = np.zeros(n_servers, dtype=np.int64)
         occupancy_trace = np.zeros((n_servers, n_epochs), dtype=np.int64)
         sessions: List[List[SessionRecord]] = [[] for _ in range(n_servers)]
+        session_rtts: List[List[float]] = [[] for _ in range(n_servers)]
         per_server_attempts = np.zeros(n_servers, dtype=np.int64)
         per_server_rejections = np.zeros(n_servers, dtype=np.int64)
 
@@ -231,7 +310,16 @@ class MatchmakingSimulator:
                 drain_departures(when)
                 attempts += 1
                 previous = int(last_server[player])
-                chosen = policy.select(occupancy, capacities, previous, rng_assign)
+                rtt_row = rtt_rows[player_region[player]]
+                if self._select_takes_rtt:
+                    chosen = policy.select(
+                        occupancy, capacities, previous, rng_assign,
+                        rtt=rtt_row,
+                    )
+                else:
+                    chosen = policy.select(
+                        occupancy, capacities, previous, rng_assign
+                    )
                 if chosen is not None:
                     per_server_attempts[chosen] += 1
                 if chosen is None or occupancy[chosen] >= capacities[chosen]:
@@ -284,6 +372,7 @@ class MatchmakingSimulator:
                         wants_download=bool(traits.wants_download[player]),
                     )
                 )
+                session_rtts[chosen].append(float(rtt_row[chosen]))
                 next_session_id += 1
                 admitted += 1
                 if chosen == previous:
@@ -315,6 +404,10 @@ class MatchmakingSimulator:
             per_server_attempts=per_server_attempts,
             per_server_rejections=per_server_rejections,
             repeat_assignments=repeat_assignments,
+            rtt=self.rtt,
+            session_rtts=tuple(
+                np.asarray(rtts, dtype=float) for rtts in session_rtts
+            ),
         )
 
 
@@ -323,6 +416,9 @@ def simulate_matchmaking(
     policy: Union[str, SelectionPolicy],
     config: Optional[PoolConfig] = None,
     seed: Optional[int] = None,
+    rtt: Optional[RttMatrix] = None,
 ) -> MatchmakingResult:
     """Convenience wrapper: run one :class:`MatchmakingSimulator`."""
-    return MatchmakingSimulator(fleet, policy, config=config, seed=seed).run()
+    return MatchmakingSimulator(
+        fleet, policy, config=config, seed=seed, rtt=rtt
+    ).run()

@@ -7,7 +7,7 @@ slot-table rule — a full server refuses the attempt — so policies never
 mutate state; they only read the occupancy snapshot and draw from the
 epoch's assignment stream.
 
-The four policies span the provisioning trade-off the paper's closing
+The six policies span the provisioning trade-off the paper's closing
 section motivates:
 
 * :class:`RandomPolicy` — the server-browser baseline: players pick
@@ -21,19 +21,46 @@ section motivates:
 * :class:`CapacityAwarePolicy` — admission control: least-loaded among
   the non-full servers, refusing at the matchmaker when the facility is
   full; refused players retry after a delay or balk (the retry/balk
-  split lives in :class:`~repro.matchmaking.pool.PoolConfig`).
+  split lives in :class:`~repro.matchmaking.pool.PoolConfig`);
+* :class:`LowestRttPolicy` — ping-first placement: the reachable
+  (non-full) server minimising the player's RTT, ties broken toward the
+  most free slots — with a uniform RTT matrix this *is* least-loaded;
+* :class:`LatencyAwarePolicy` — the modern matchmaker objective:
+  score every open server ``α·(free slots / largest capacity) −
+  β·(RTT / worst row RTT)`` and take the argmax, trading occupancy
+  against QoE explicitly.
+
+Latency-aware policies read the player's per-server RTT vector through
+``select``'s optional ``rtt`` view (the row of the facility's
+:class:`~repro.matchmaking.rtt.RttMatrix` for the player's region);
+load-only policies ignore it, so both kinds slot into one registry.
 
 Determinism contract: ``select`` is a pure function of
-``(occupancy, capacities, last_server)`` and the draws it takes from
-``rng`` — the engine hands it the per-epoch assignment stream, so the
-whole assignment sequence is reproducible from one seed.
+``(occupancy, capacities, last_server, rtt)`` and the draws it takes
+from ``rng`` — the engine hands it the per-epoch assignment stream, so
+the whole assignment sequence is reproducible from one seed.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Optional, Type, Union
 
 import numpy as np
+
+
+def validate_score_weight(label: str, value: float) -> float:
+    """Validate a latency-aware score weight (the one shared rule).
+
+    Used by :class:`LatencyAwarePolicy`, the experiment overrides and
+    the CLI's argparse type, so "what is a legal α/β" lives here once.
+    """
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"{label} must be finite, got {value!r}")
+    if value < 0:
+        raise ValueError(f"{label} must be >= 0, got {value!r}")
+    return value
 
 
 class SelectionPolicy:
@@ -41,7 +68,9 @@ class SelectionPolicy:
 
     Subclasses set ``name`` (the registry/CLI identifier) and
     ``retry_on_reject`` (whether the pool schedules retries for attempts
-    this policy gets refused — admission-control behaviour).
+    this policy gets refused — admission-control behaviour).  Policies
+    that score on latency call :meth:`_require_rtt`, which turns a
+    missing RTT view into a clear error at selection time.
     """
 
     #: Registry / CLI identifier.
@@ -55,16 +84,28 @@ class SelectionPolicy:
         capacities: np.ndarray,
         last_server: int,
         rng: np.random.Generator,
+        rtt: Optional[np.ndarray] = None,
     ) -> Optional[int]:
         """Server index for this attempt, or ``None`` to refuse outright.
 
         ``occupancy`` and ``capacities`` are read-only per-server arrays;
-        ``last_server`` is the player's previous server (-1 if none).
+        ``last_server`` is the player's previous server (-1 if none);
+        ``rtt``, when provided, is the player's per-server RTT vector in
+        milliseconds (their region's row of the facility RTT matrix).
         Returning a full server's index is allowed — the slot table
         refuses the attempt — while ``None`` means the policy itself
         turned the player away (admission control).
         """
         raise NotImplementedError
+
+    def _require_rtt(self, rtt: Optional[np.ndarray]) -> np.ndarray:
+        """The RTT view, or a clear error for latency-blind call sites."""
+        if rtt is None:
+            raise ValueError(
+                f"policy {self.name!r} needs the per-player RTT view; "
+                "run it through a MatchmakingSimulator with an RttMatrix"
+            )
+        return rtt
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"
@@ -75,7 +116,9 @@ class RandomPolicy(SelectionPolicy):
 
     name = "random"
 
-    def select(self, occupancy, capacities, last_server, rng) -> Optional[int]:
+    def select(
+        self, occupancy, capacities, last_server, rng, rtt=None
+    ) -> Optional[int]:
         return int(rng.integers(occupancy.size))
 
 
@@ -84,7 +127,9 @@ class LeastLoadedPolicy(SelectionPolicy):
 
     name = "least_loaded"
 
-    def select(self, occupancy, capacities, last_server, rng) -> Optional[int]:
+    def select(
+        self, occupancy, capacities, last_server, rng, rtt=None
+    ) -> Optional[int]:
         return int(np.argmax(capacities - occupancy))
 
 
@@ -98,7 +143,9 @@ class StickyPolicy(SelectionPolicy):
 
     name = "sticky"
 
-    def select(self, occupancy, capacities, last_server, rng) -> Optional[int]:
+    def select(
+        self, occupancy, capacities, last_server, rng, rtt=None
+    ) -> Optional[int]:
         if 0 <= last_server < occupancy.size and (
             occupancy[last_server] < capacities[last_server]
         ):
@@ -121,11 +168,79 @@ class CapacityAwarePolicy(SelectionPolicy):
     name = "capacity_aware"
     retry_on_reject = True
 
-    def select(self, occupancy, capacities, last_server, rng) -> Optional[int]:
+    def select(
+        self, occupancy, capacities, last_server, rng, rtt=None
+    ) -> Optional[int]:
         free = capacities - occupancy
         if not np.any(free > 0):
             return None
         return int(np.argmax(free))
+
+
+class LowestRttPolicy(SelectionPolicy):
+    """Ping-first: the non-full server minimising the player's RTT.
+
+    RTT ties break toward the most free slots (then the lowest index),
+    so a *uniform* RTT matrix — every pair equidistant — makes this
+    policy reproduce :class:`LeastLoadedPolicy` assignment-for-
+    assignment: the parity the determinism suite pins.  Refuses only
+    when the whole facility is full.
+    """
+
+    name = "lowest_rtt"
+
+    def select(
+        self, occupancy, capacities, last_server, rng, rtt=None
+    ) -> Optional[int]:
+        rtt = self._require_rtt(rtt)
+        open_servers = np.flatnonzero(occupancy < capacities)
+        if open_servers.size == 0:
+            return None
+        open_rtt = rtt[open_servers]
+        candidates = open_servers[open_rtt == open_rtt.min()]
+        free = (capacities - occupancy)[candidates]
+        return int(candidates[int(np.argmax(free))])
+
+
+class LatencyAwarePolicy(SelectionPolicy):
+    """Occupancy/QoE trade-off: ``α·free-slot share − β·normalised RTT``.
+
+    Every open server is scored ``alpha * free_slots / max(capacities)
+    - beta * rtt / max(rtt)`` and the argmax wins (ties to the lowest
+    index).  ``beta = 0`` (with ``alpha > 0``) degenerates to
+    least-loaded — the share term is monotone in free slots;
+    ``alpha = 0`` chases ping alone (and with ``beta = 0`` too the
+    score is constant, so placement falls to the lowest open index);
+    the defaults weight both, which is what buys lower session RTT at a
+    small utilisation cost under saturating demand.  Refuses only when
+    the whole facility is full.
+    """
+
+    name = "latency_aware"
+
+    def __init__(self, alpha: float = 1.0, beta: float = 1.0) -> None:
+        self.alpha = validate_score_weight("alpha", alpha)
+        self.beta = validate_score_weight("beta", beta)
+
+    def select(
+        self, occupancy, capacities, last_server, rng, rtt=None
+    ) -> Optional[int]:
+        rtt = self._require_rtt(rtt)
+        free = capacities - occupancy
+        if not np.any(free > 0):
+            return None
+        free_share = free / max(int(capacities.max()), 1)
+        # normalisation is recomputed per call — one reduction over a
+        # handful of servers — to keep select a pure function of its
+        # arguments (no memo that could go stale on mutated rows)
+        rtt_scale = float(rtt.max())
+        normalised_rtt = rtt / rtt_scale if rtt_scale > 0 else rtt
+        score = self.alpha * free_share - self.beta * normalised_rtt
+        score[free <= 0] = -np.inf
+        return int(np.argmax(score))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(alpha={self.alpha}, beta={self.beta})"
 
 
 #: Policy registry in presentation order (CLI ``--policy`` choices).
@@ -136,6 +251,8 @@ POLICIES: Dict[str, Type[SelectionPolicy]] = {
         LeastLoadedPolicy,
         StickyPolicy,
         CapacityAwarePolicy,
+        LowestRttPolicy,
+        LatencyAwarePolicy,
     )
 }
 

@@ -39,6 +39,54 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 
 
 @dataclass(frozen=True)
+class RegionProfile:
+    """Geographic regions the pool's players live in.
+
+    Regions sit on a line in presentation order — a geodesic-style
+    abstraction where the index distance ``|i - j|`` stands in for
+    geographic distance (0 = same metro, 1 = same continent, 2+ =
+    transoceanic).  :mod:`repro.matchmaking.rtt` turns those distances
+    into a region×server RTT matrix; ``weights`` set where players are
+    drawn from (they need not sum to 1).
+    """
+
+    names: Tuple[str, ...] = ("na-west", "na-east", "eu", "apac")
+    weights: Tuple[float, ...] = (0.30, 0.30, 0.25, 0.15)
+
+    def __post_init__(self) -> None:
+        # coerce to tuples so profiles built from lists compare equal to
+        # (and interoperate with) tuple-built ones downstream
+        object.__setattr__(self, "names", tuple(self.names))
+        object.__setattr__(self, "weights", tuple(self.weights))
+        if not self.names:
+            raise ValueError("a RegionProfile needs at least one region")
+        if len(set(self.names)) != len(self.names):
+            raise ValueError(f"region names must be unique: {self.names!r}")
+        if len(self.weights) != len(self.names):
+            raise ValueError(
+                f"{len(self.weights)} weights for {len(self.names)} regions"
+            )
+        if (
+            any(not math.isfinite(w) or w < 0 for w in self.weights)
+            or not any(w > 0 for w in self.weights)
+        ):
+            raise ValueError(
+                "region weights must be finite and non-negative "
+                "with a positive total"
+            )
+
+    @property
+    def n_regions(self) -> int:
+        """Number of regions."""
+        return len(self.names)
+
+    def probabilities(self) -> np.ndarray:
+        """Normalised region weights (the player-draw distribution)."""
+        weights = np.asarray(self.weights, dtype=float)
+        return weights / weights.sum()
+
+
+@dataclass(frozen=True)
 class PoolConfig:
     """Parameters of the shared facility player pool.
 
@@ -76,6 +124,8 @@ class PoolConfig:
     # -- per-player traits ---------------------------------------------
     #: Link classes traits are drawn from (Fig 11 heterogeneity).
     base_profile: ServerProfile = field(default_factory=olygamer_week)
+    #: Regions players are drawn from (latency-aware matchmaking).
+    region_profile: RegionProfile = field(default_factory=RegionProfile)
 
     def __post_init__(self) -> None:
         if self.pool_size < 1:
@@ -195,6 +245,8 @@ class PlayerTraits:
     link_classes: Tuple[str, ...]
     link_class_index: np.ndarray
     wants_download: np.ndarray
+    region_names: Tuple[str, ...]
+    region_index: np.ndarray
 
     @classmethod
     def draw(cls, config: PoolConfig, seed: int) -> "PlayerTraits":
@@ -215,13 +267,29 @@ class PlayerTraits:
             rng.uniform(size=config.pool_size)
             < config.base_profile.download_probability
         )
+        # regions come from their own named stream so adding them never
+        # perturbed the pre-existing link-class/download draws
+        rng_region = np.random.default_rng(
+            derive_seed(seed, "matchmaking-regions")
+        )
+        regions = rng_region.choice(
+            config.region_profile.n_regions,
+            size=config.pool_size,
+            p=config.region_profile.probabilities(),
+        )
         return cls(
             rate_multipliers=multipliers,
             link_classes=tuple(c.name for c in classes),
             link_class_index=chosen.astype(np.int64),
             wants_download=downloads,
+            region_names=config.region_profile.names,
+            region_index=regions.astype(np.int64),
         )
 
     def link_class_of(self, player_id: int) -> str:
         """Link-class name of one player."""
         return self.link_classes[int(self.link_class_index[player_id])]
+
+    def region_of(self, player_id: int) -> str:
+        """Region name of one player."""
+        return self.region_names[int(self.region_index[player_id])]

@@ -1,0 +1,245 @@
+"""Deterministic region×server RTT matrices for latency-aware placement.
+
+The modern matchmaker objective trades occupancy against round-trip
+time, so the closed loop needs a notion of *where* players and servers
+sit.  Regions (see :class:`~repro.matchmaking.pool.RegionProfile`) live
+on a line whose index distance stands in for geographic distance; an
+:class:`RttMatrix` turns that geometry into per-``(region, server)``
+round-trip times in three steps:
+
+* every server gets a **home region**, drawn once from the region
+  weights in a named seed stream (``rtt-server-regions``), so popular
+  regions host proportionally more servers;
+* the **base** RTT between region ``r`` and a server homed in region
+  ``h`` is geodesic-style: ``intra_region_ms + hop_ms × |r - h|``;
+* each entry is scattered by multiplicative lognormal **jitter** whose
+  coefficient of variation depends on the link class — metro
+  (``|r-h| = 0``), continental (``= 1``) or transoceanic (``>= 2``) —
+  drawn from its own named stream (``rtt-jitter``).
+
+Everything is a pure function of ``(fleet, region profile, RttProfile,
+seed)`` via :func:`repro.sim.random.derive_seed`, and the matrix is
+built once, in-process, before any sharded stage runs — so latency-aware
+runs stay bit-identical across worker counts and cache warmth exactly
+like the rest of the closed loop.
+
+``RTT_PROFILES`` names the stock link geometries the CLI exposes as
+``repro-experiments --rtt-profile``; the degenerate ``uniform`` profile
+(every entry equal, zero jitter) is the parity fixture that pins
+``lowest_rtt`` to ``least_loaded`` bit-identically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.fleet.profiles import FleetProfile
+from repro.matchmaking.pool import RegionProfile
+from repro.sim.random import derive_seed, lognormal_params
+
+#: Link classes by region index distance (0, 1, >= 2).
+LINK_CLASS_NAMES = ("metro", "continental", "transoceanic")
+
+
+@dataclass(frozen=True)
+class RttProfile:
+    """Parameters of the geodesic-style RTT geometry.
+
+    ``jitter_cv`` gives the per-link-class coefficients of variation of
+    the multiplicative lognormal jitter, indexed metro / continental /
+    transoceanic; zeros make the matrix exactly the base geometry.
+    """
+
+    name: str
+    #: Same-region round trip (last mile + metro fabric), milliseconds.
+    intra_region_ms: float = 12.0
+    #: Added round trip per unit of region index distance, milliseconds.
+    hop_ms: float = 38.0
+    #: Lognormal jitter CV per link class (metro, continental, transoceanic).
+    jitter_cv: Tuple[float, float, float] = (0.10, 0.20, 0.30)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("an RttProfile needs a name")
+        # eager finiteness checks: NaN slips past sign comparisons and
+        # would only surface much later as a cryptic numpy error
+        if not math.isfinite(self.intra_region_ms) or self.intra_region_ms <= 0:
+            raise ValueError(
+                f"intra_region_ms must be finite and positive: "
+                f"{self.intra_region_ms!r}"
+            )
+        if not math.isfinite(self.hop_ms) or self.hop_ms < 0:
+            raise ValueError(
+                f"hop_ms must be finite and >= 0: {self.hop_ms!r}"
+            )
+        if len(self.jitter_cv) != len(LINK_CLASS_NAMES) or any(
+            not math.isfinite(cv) or cv < 0 for cv in self.jitter_cv
+        ):
+            raise ValueError(
+                f"jitter_cv must be {len(LINK_CLASS_NAMES)} finite "
+                f"non-negative values: {self.jitter_cv!r}"
+            )
+
+
+#: Stock geometries, by CLI name (``repro-experiments --rtt-profile``).
+RTT_PROFILES: Dict[str, RttProfile] = {
+    profile.name: profile
+    for profile in (
+        # a worldwide facility: crossing regions is expensive
+        RttProfile(name="global"),
+        # servers and players share a continent: flatter geometry
+        RttProfile(
+            name="continental",
+            intra_region_ms=10.0,
+            hop_ms=15.0,
+            jitter_cv=(0.10, 0.15, 0.20),
+        ),
+        # every (region, server) pair identical: the parity fixture that
+        # makes lowest_rtt coincide with least_loaded bit-identically
+        RttProfile(
+            name="uniform",
+            intra_region_ms=40.0,
+            hop_ms=0.0,
+            jitter_cv=(0.0, 0.0, 0.0),
+        ),
+    )
+}
+
+
+def make_rtt_profile(profile: Union[str, RttProfile]) -> RttProfile:
+    """Resolve an RTT-profile name (or pass an instance through)."""
+    if isinstance(profile, RttProfile):
+        return profile
+    if profile not in RTT_PROFILES:
+        raise KeyError(
+            f"unknown RTT profile {profile!r}; known: {', '.join(RTT_PROFILES)}"
+        )
+    return RTT_PROFILES[profile]
+
+
+@dataclass(frozen=True, eq=False)
+class RttMatrix:
+    """A concrete region×server RTT table plus the geometry behind it.
+
+    ``matrix[r, s]`` is the round-trip time (milliseconds) a player in
+    region ``r`` sees to server ``s``; ``server_regions[s]`` is server
+    ``s``'s home region index.  Equality is identity (``eq=False``):
+    the ndarray fields would make a generated ``__eq__`` ambiguous —
+    compare geometries with :func:`numpy.array_equal` on ``matrix``.
+    """
+
+    region_names: Tuple[str, ...]
+    server_regions: np.ndarray
+    matrix: np.ndarray
+    profile: RttProfile = field(default_factory=lambda: RTT_PROFILES["global"])
+
+    def __post_init__(self) -> None:
+        # store the coerced arrays, not the raw inputs, so list/int
+        # inputs behave exactly like what was validated
+        matrix = np.asarray(self.matrix, dtype=float)
+        server_regions = np.asarray(self.server_regions, dtype=np.int64)
+        object.__setattr__(self, "matrix", matrix)
+        object.__setattr__(self, "server_regions", server_regions)
+        object.__setattr__(self, "region_names", tuple(self.region_names))
+        if matrix.ndim != 2 or matrix.shape[0] != len(self.region_names):
+            raise ValueError(
+                f"matrix {matrix.shape} does not match "
+                f"{len(self.region_names)} regions"
+            )
+        if server_regions.shape != (matrix.shape[1],):
+            raise ValueError(
+                f"{server_regions.size} server regions for "
+                f"{matrix.shape[1]} servers"
+            )
+        if not np.all(matrix > 0):
+            raise ValueError("RTT entries must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_regions(self) -> int:
+        """Number of player regions."""
+        return len(self.region_names)
+
+    @property
+    def n_servers(self) -> int:
+        """Number of servers."""
+        return int(self.matrix.shape[1])
+
+    def row(self, region_index: int) -> np.ndarray:
+        """Per-server RTT vector one region's players see."""
+        return self.matrix[int(region_index)]
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when every (region, server) pair sees the same RTT."""
+        return bool(np.all(self.matrix == self.matrix.flat[0]))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_fleet(
+        cls,
+        fleet: FleetProfile,
+        region_profile: Optional[RegionProfile] = None,
+        profile: Union[str, RttProfile] = "global",
+        seed: Optional[int] = None,
+    ) -> "RttMatrix":
+        """Build the matrix for one facility, deterministically.
+
+        ``seed`` defaults to the fleet's seed so one integer reproduces
+        geometry, pool and assignments together.
+        """
+        regions = (
+            region_profile if region_profile is not None else RegionProfile()
+        )
+        rtt_profile = make_rtt_profile(profile)
+        seed = fleet.seed if seed is None else int(seed)
+
+        rng_home = np.random.default_rng(
+            derive_seed(seed, "rtt-server-regions")
+        )
+        server_regions = rng_home.choice(
+            regions.n_regions,
+            size=fleet.n_servers,
+            p=regions.probabilities(),
+        ).astype(np.int64)
+
+        distance = np.abs(
+            np.arange(regions.n_regions)[:, None] - server_regions[None, :]
+        )
+        base = rtt_profile.intra_region_ms + rtt_profile.hop_ms * distance
+        # one standard-normal draw per entry, scaled per link class: the
+        # draw order never depends on which classes are present
+        link_class = np.minimum(distance, len(LINK_CLASS_NAMES) - 1)
+        mus = np.empty(len(LINK_CLASS_NAMES))
+        sigmas = np.empty(len(LINK_CLASS_NAMES))
+        for index, cv in enumerate(rtt_profile.jitter_cv):
+            mus[index], sigmas[index] = lognormal_params(1.0, cv)
+        rng_jitter = np.random.default_rng(derive_seed(seed, "rtt-jitter"))
+        z = rng_jitter.standard_normal(size=base.shape)
+        jitter = np.exp(mus[link_class] + sigmas[link_class] * z)
+        return cls(
+            region_names=regions.names,
+            server_regions=server_regions,
+            matrix=base * jitter,
+            profile=rtt_profile,
+        )
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One line per server: home region and per-region RTTs."""
+        lines = [
+            f"rtt profile {self.profile.name!r}: "
+            f"{self.n_regions} regions x {self.n_servers} servers"
+        ]
+        for server in range(self.n_servers):
+            home = self.region_names[int(self.server_regions[server])]
+            cells = "  ".join(
+                f"{name}={self.matrix[r, server]:6.1f}ms"
+                for r, name in enumerate(self.region_names)
+            )
+            lines.append(f"server {server:2d} [{home:>8}]  {cells}")
+        return "\n".join(lines)

@@ -136,6 +136,55 @@ class TestExperimentsMatchmakingFlags:
         assert "--pool-size" in err
         assert "must be >= 1" in err
 
+    def test_policy_choices_come_from_the_registry(self, capsys):
+        # --policy derives its choices from repro.matchmaking.POLICIES:
+        # a registered policy is addressable without touching the runner
+        from repro.matchmaking import POLICIES
+
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["--policy", "zergrush", "matchmaking"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        for name in POLICIES:
+            assert name in err
+
+    def test_unknown_rtt_profile_is_a_clean_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["--rtt-profile", "atlantis", "matchmaking"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--rtt-profile" in err
+        assert "uniform" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize("flag", ["--alpha", "--beta"])
+    @pytest.mark.parametrize("value", ["-0.5", "-3"])
+    def test_negative_weight_is_a_clean_argparse_error(self, flag, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main([flag, value, "matchmaking"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert flag in err
+        assert "must be >= 0" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize("flag", ["--alpha", "--beta"])
+    def test_non_numeric_weight_is_a_clean_argparse_error(self, flag, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main([flag, "plenty", "matchmaking"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid" in err
+
+    @pytest.mark.parametrize("value", ["nan", "inf", "-inf"])
+    def test_non_finite_weight_is_a_clean_argparse_error(self, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["--alpha", value, "matchmaking"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--alpha" in err
+        assert "Traceback" not in err
+
     def test_pool_size_below_capacity_is_a_clean_runtime_error(self, capsys):
         # feasibility depends on the seed-derived facility's slot count,
         # so this surfaces at run time — but cleanly, without a traceback
@@ -154,17 +203,33 @@ class TestExperimentsMatchmakingFlags:
         def fake_run(ids, seed=0):
             calls["policy"] = matchmaking._default_policy
             calls["pool_size"] = matchmaking._default_pool_size
+            calls["rtt_profile"] = matchmaking._default_rtt_profile
+            calls["alpha"] = matchmaking._default_alpha
+            calls["beta"] = matchmaking._default_beta
             return []
 
         monkeypatch.setattr(runner, "run_experiments", fake_run)
         runner.main(
-            ["--policy", "sticky", "--pool-size", "123", "matchmaking"]
+            [
+                "--policy", "latency_aware", "--pool-size", "123",
+                "--rtt-profile", "continental", "--alpha", "2.5",
+                "--beta", "0.5", "matchmaking",
+            ]
         )
         # installed for the run...
-        assert calls == {"policy": "sticky", "pool_size": 123}
+        assert calls == {
+            "policy": "latency_aware",
+            "pool_size": 123,
+            "rtt_profile": "continental",
+            "alpha": 2.5,
+            "beta": 0.5,
+        }
         # ...and cleared afterwards
         assert matchmaking._default_policy is None
         assert matchmaking._default_pool_size is None
+        assert matchmaking._default_rtt_profile is None
+        assert matchmaking._default_alpha is None
+        assert matchmaking._default_beta is None
 
 
 class TestExperimentsCacheDir:

@@ -39,6 +39,35 @@ class TestMatchmakingExperiment:
         for name in POLICIES:
             assert name in text
         assert "gain-vs-random" in text
+        assert "rtt ms" in text
+        assert "occupancy-vs-RTT frontier" in text
+
+    def test_latency_aware_beats_least_loaded_on_rtt(self, output):
+        # the acceptance criterion of the latency-aware sweep: strictly
+        # lower mean session RTT at a few points of utilization at most
+        latencies = output.extras["latency_stats"]
+        stats = output.extras["occupancy_stats"]
+        assert (
+            latencies["latency_aware"].mean_ms
+            < latencies["least_loaded"].mean_ms
+        )
+        assert (
+            stats["latency_aware"].utilization
+            >= stats["least_loaded"].utilization - 0.05
+        )
+
+    def test_frontier_holds_a_latency_aware_policy(self, output):
+        frontier = output.extras["frontier"]
+        assert frontier
+        # every frontier member is a swept policy, and at least one of
+        # the RTT-aware policies earns a place on it
+        assert set(frontier) <= set(POLICIES)
+        assert {"latency_aware", "lowest_rtt"} & set(frontier)
+
+    def test_one_rtt_geometry_for_the_whole_sweep(self, output):
+        rtt = output.extras["rtt"]
+        for result in output.extras["results"].values():
+            assert result.rtt is rtt
 
     def test_policy_override_narrows_the_run(self):
         matchmaking.set_default_policy("least_loaded")
@@ -64,6 +93,68 @@ class TestMatchmakingExperiment:
             matchmaking.set_default_policy("nonexistent")
         with pytest.raises(ValueError):
             matchmaking.set_default_pool_size(0)
+        with pytest.raises(KeyError):
+            matchmaking.set_default_rtt_profile("atlantis")
+        with pytest.raises(ValueError):
+            matchmaking.set_default_alpha(-1.0)
+        with pytest.raises(ValueError):
+            matchmaking.set_default_beta(float("nan"))
+
+    def test_degenerate_latency_settings_still_pass(self):
+        # --beta 0 and --rtt-profile uniform are documented parity
+        # regimes (latency_aware == least_loaded), so the experiment
+        # must relax its strict-RTT row rather than report failure
+        matchmaking.set_default_beta(0.0)
+        try:
+            flat_beta = matchmaking.run(seed=0)
+        finally:
+            matchmaking.set_default_beta(None)
+        assert flat_beta.passed, flat_beta.render()
+        assert "latency term disabled" in flat_beta.render()
+        latencies = flat_beta.extras["latency_stats"]
+        assert (
+            latencies["latency_aware"].mean_ms
+            == latencies["least_loaded"].mean_ms
+        )
+
+    def test_all_zero_weights_still_pass(self):
+        # alpha = beta = 0 makes the score constant (lowest-open-index
+        # placement) — no RTT parity to claim, but still a valid run
+        matchmaking.set_default_alpha(0.0)
+        matchmaking.set_default_beta(0.0)
+        try:
+            degenerate = matchmaking.run(seed=0)
+        finally:
+            matchmaking.set_default_alpha(None)
+            matchmaking.set_default_beta(None)
+        assert degenerate.passed, degenerate.render()
+        text = degenerate.render()
+        assert "lowers mean session RTT" not in text
+        assert "latency term disabled" not in text
+
+    def test_rtt_profile_override_swaps_geometry(self):
+        matchmaking.set_default_policy("lowest_rtt")
+        matchmaking.set_default_rtt_profile("uniform")
+        try:
+            flat = matchmaking.run(seed=0)
+        finally:
+            matchmaking.set_default_policy(None)
+            matchmaking.set_default_rtt_profile(None)
+        assert flat.extras["rtt"].is_uniform
+        assert flat.passed, flat.render()
+
+    def test_weight_overrides_reach_the_policy(self):
+        matchmaking.set_default_policy("latency_aware")
+        matchmaking.set_default_alpha(2.0)
+        matchmaking.set_default_beta(0.25)
+        try:
+            policy = matchmaking._latency_aware_policy()
+        finally:
+            matchmaking.set_default_policy(None)
+            matchmaking.set_default_alpha(None)
+            matchmaking.set_default_beta(None)
+        assert policy.alpha == 2.0
+        assert policy.beta == 0.25
 
     def test_deterministic_across_runs(self, output):
         again = matchmaking.run(seed=0)

@@ -1,8 +1,9 @@
 """Unit tests for the repro.matchmaking closed loop.
 
-Pool configuration, the four selection policies, the epoch engine's
-bookkeeping invariants, assigned-population traffic synthesis, and the
-facility-level occupancy/admission metrics in repro.core.facility.
+Pool configuration (regions included), the six selection policies, the
+RTT geometry, the epoch engine's bookkeeping invariants,
+assigned-population traffic synthesis, and the facility-level
+occupancy/admission/latency metrics in repro.core.facility.
 """
 
 import numpy as np
@@ -11,21 +12,32 @@ import pytest
 from repro.core.facility import (
     AdmissionStats,
     FacilityEnvelope,
+    LatencyStats,
     OccupancyStats,
+    occupancy_rtt_frontier,
     policy_multiplexing_gain,
 )
 from repro.fleet.profiles import hosting_facility
 from repro.fleet.scenario import FleetScenario
 from repro.matchmaking import (
     POLICIES,
+    RTT_PROFILES,
+    PlayerTraits,
     PoolConfig,
+    RegionProfile,
+    RttMatrix,
+    RttProfile,
+    SelectionPolicy,
     assigned_population,
     make_policy,
+    make_rtt_profile,
     simulate_matchmaking,
 )
 from repro.matchmaking.policies import (
     CapacityAwarePolicy,
+    LatencyAwarePolicy,
     LeastLoadedPolicy,
+    LowestRttPolicy,
     RandomPolicy,
     StickyPolicy,
 )
@@ -112,6 +124,7 @@ class TestPolicies:
     def test_registry_names(self):
         assert list(POLICIES) == [
             "random", "least_loaded", "sticky", "capacity_aware",
+            "lowest_rtt", "latency_aware",
         ]
         for name in POLICIES:
             assert make_policy(name).name == name
@@ -163,6 +176,188 @@ class TestPolicies:
             for _ in range(64)
         }
         assert picks == {0, 1}
+
+    def test_lowest_rtt_picks_argmin_among_open(self):
+        capacities = np.array([4, 4, 4])
+        rng = np.random.default_rng(0)
+        rtt = np.array([80.0, 10.0, 30.0])
+        policy = LowestRttPolicy()
+        # nearest server open: take it even if busier
+        assert policy.select(np.array([0, 3, 0]), capacities, -1, rng, rtt=rtt) == 1
+        # nearest full: next-lowest RTT wins
+        assert policy.select(np.array([0, 4, 0]), capacities, -1, rng, rtt=rtt) == 2
+        # facility full: refuse
+        assert policy.select(np.array([4, 4, 4]), capacities, -1, rng, rtt=rtt) is None
+
+    def test_lowest_rtt_breaks_ties_toward_free_slots(self):
+        capacities = np.array([4, 4, 4])
+        rng = np.random.default_rng(0)
+        rtt = np.array([20.0, 20.0, 50.0])
+        chosen = LowestRttPolicy().select(
+            np.array([3, 1, 0]), capacities, -1, rng, rtt=rtt
+        )
+        assert chosen == 1
+
+    def test_latency_aware_trades_slots_against_rtt(self):
+        capacities = np.array([10, 10])
+        rng = np.random.default_rng(0)
+        rtt = np.array([10.0, 100.0])
+        # ping-chasing beta: near server wins despite being busier
+        near = LatencyAwarePolicy(alpha=0.1, beta=1.0).select(
+            np.array([8, 0]), capacities, -1, rng, rtt=rtt
+        )
+        assert near == 0
+        # occupancy-heavy alpha: the empty far server wins
+        empty = LatencyAwarePolicy(alpha=10.0, beta=1.0).select(
+            np.array([8, 0]), capacities, -1, rng, rtt=rtt
+        )
+        assert empty == 1
+
+    def test_latency_aware_never_selects_full_server(self):
+        capacities = np.array([2, 2])
+        rng = np.random.default_rng(0)
+        rtt = np.array([1.0, 500.0])
+        policy = LatencyAwarePolicy()
+        # the near server is full: must pick the distant open one
+        assert policy.select(np.array([2, 0]), capacities, -1, rng, rtt=rtt) == 1
+        assert policy.select(np.array([2, 2]), capacities, -1, rng, rtt=rtt) is None
+
+    def test_latency_aware_weight_validation(self):
+        with pytest.raises(ValueError):
+            LatencyAwarePolicy(alpha=-1.0)
+        with pytest.raises(ValueError):
+            LatencyAwarePolicy(beta=float("nan"))
+        with pytest.raises(ValueError):
+            LatencyAwarePolicy(alpha=float("inf"))
+
+    def test_rtt_policies_require_the_rtt_view(self):
+        occupancy = np.array([0, 0])
+        capacities = np.array([4, 4])
+        rng = np.random.default_rng(0)
+        for policy in (LowestRttPolicy(), LatencyAwarePolicy()):
+            with pytest.raises(ValueError):
+                policy.select(occupancy, capacities, -1, rng)
+
+
+class TestRegionsAndRtt:
+    def test_region_profile_validation(self):
+        with pytest.raises(ValueError):
+            RegionProfile(names=(), weights=())
+        with pytest.raises(ValueError):
+            RegionProfile(names=("a", "a"), weights=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            RegionProfile(names=("a", "b"), weights=(1.0,))
+        with pytest.raises(ValueError):
+            RegionProfile(names=("a", "b"), weights=(0.0, 0.0))
+        profile = RegionProfile(names=("a", "b"), weights=(3.0, 1.0))
+        assert profile.n_regions == 2
+        assert profile.probabilities() == pytest.approx([0.75, 0.25])
+
+    def test_non_finite_parameters_rejected_eagerly(self):
+        # NaN passes sign comparisons, so finiteness is checked up front
+        with pytest.raises(ValueError):
+            RegionProfile(names=("a", "b"), weights=(float("nan"), 1.0))
+        with pytest.raises(ValueError):
+            RttProfile(name="bad", intra_region_ms=float("nan"))
+        with pytest.raises(ValueError):
+            RttProfile(name="bad", hop_ms=float("inf"))
+        with pytest.raises(ValueError):
+            RttProfile(name="bad", jitter_cv=(0.1, float("nan"), 0.1))
+
+    def test_region_profile_coerces_lists(self, small_fleet):
+        listy = RegionProfile(names=["a", "b"], weights=[1.0, 1.0])
+        assert listy.names == ("a", "b")
+        assert listy.weights == (1.0, 1.0)
+        assert listy == RegionProfile(names=("a", "b"), weights=(1.0, 1.0))
+        # and the simulator accepts its own default matrix for it
+        config = PoolConfig.for_fleet(
+            small_fleet, epoch_length=EPOCH, region_profile=listy
+        )
+        result = simulate_matchmaking(small_fleet, "least_loaded", config)
+        assert result.rtt.region_names == ("a", "b")
+
+    def test_traits_carry_regions(self, saturating_config):
+        traits = PlayerTraits.draw(saturating_config, seed=5)
+        profile = saturating_config.region_profile
+        assert traits.region_index.shape == (saturating_config.pool_size,)
+        assert set(np.unique(traits.region_index)) <= set(
+            range(profile.n_regions)
+        )
+        assert traits.region_of(0) in profile.names
+
+    def test_rtt_matrix_deterministic_and_shaped(self, small_fleet):
+        regions = RegionProfile()
+        a = RttMatrix.for_fleet(small_fleet, regions, seed=7)
+        b = RttMatrix.for_fleet(small_fleet, regions, seed=7)
+        assert np.array_equal(a.matrix, b.matrix)
+        assert np.array_equal(a.server_regions, b.server_regions)
+        assert a.matrix.shape == (regions.n_regions, small_fleet.n_servers)
+        assert np.all(a.matrix > 0)
+        c = RttMatrix.for_fleet(small_fleet, regions, seed=8)
+        assert not np.array_equal(a.matrix, c.matrix)
+
+    def test_home_region_is_nearest_before_jitter(self, small_fleet):
+        # with zero jitter the home region's row is the strict argmin
+        profile = RttProfile(
+            name="flatjitter", intra_region_ms=10.0, hop_ms=30.0,
+            jitter_cv=(0.0, 0.0, 0.0),
+        )
+        matrix = RttMatrix.for_fleet(small_fleet, profile=profile, seed=3)
+        for server in range(matrix.n_servers):
+            assert (
+                int(np.argmin(matrix.matrix[:, server]))
+                == int(matrix.server_regions[server])
+            )
+
+    def test_uniform_profile_is_flat(self, small_fleet):
+        matrix = RttMatrix.for_fleet(small_fleet, profile="uniform", seed=0)
+        assert matrix.is_uniform
+        global_matrix = RttMatrix.for_fleet(small_fleet, profile="global", seed=0)
+        assert not global_matrix.is_uniform
+
+    def test_unknown_rtt_profile_rejected(self):
+        with pytest.raises(KeyError):
+            make_rtt_profile("marianas-trench")
+        assert set(RTT_PROFILES) == {"global", "continental", "uniform"}
+
+    def test_rtt_matrix_validation(self):
+        with pytest.raises(ValueError):
+            RttMatrix(
+                region_names=("a", "b"),
+                server_regions=np.array([0]),
+                matrix=np.ones((3, 1)),
+            )
+        with pytest.raises(ValueError):
+            RttMatrix(
+                region_names=("a",),
+                server_regions=np.array([0, 0]),
+                matrix=np.ones((1, 1)),
+            )
+        with pytest.raises(ValueError):
+            RttMatrix(
+                region_names=("a",),
+                server_regions=np.array([0]),
+                matrix=np.zeros((1, 1)),
+            )
+
+    def test_rtt_matrix_coerces_inputs(self):
+        # list/int inputs must behave exactly like validated arrays
+        matrix = RttMatrix(
+            region_names=["a", "b"],
+            server_regions=[0, 1, 1],
+            matrix=[[10, 20, 30], [40, 50, 60]],
+        )
+        assert matrix.n_servers == 3
+        assert matrix.matrix.dtype == float
+        assert matrix.server_regions.dtype == np.int64
+        assert matrix.region_names == ("a", "b")
+        assert not matrix.is_uniform
+
+    def test_describe_names_every_server(self, small_fleet):
+        text = RttMatrix.for_fleet(small_fleet, seed=0).describe()
+        for server in range(small_fleet.n_servers):
+            assert f"server {server:2d}" in text
+        assert "na-west" in text
 
 
 class TestEngineInvariants:
@@ -242,6 +437,100 @@ class TestEngineInvariants:
                 saturating_config.replace(horizon=HORIZON / 2, epoch_length=30.0),
             )
 
+    def test_every_policy_records_session_rtts(self, results):
+        for name, result in results.items():
+            assert result.rtt is not None, name
+            assert len(result.session_rtts) == result.n_servers
+            for server, rtts in enumerate(result.session_rtts):
+                assert rtts.shape == (len(result.sessions[server]),), name
+                assert np.all(rtts > 0), name
+            assert (
+                result.all_session_rtts().size == result.admission.admitted
+            ), name
+
+    def test_session_rtts_match_matrix_lookup(self, small_fleet, saturating_config):
+        result = simulate_matchmaking(small_fleet, "lowest_rtt", saturating_config)
+        traits = PlayerTraits.draw(saturating_config, result.seed)
+        for server, (session_list, rtts) in enumerate(
+            zip(result.sessions, result.session_rtts)
+        ):
+            for record, rtt_ms in zip(session_list, rtts):
+                region = int(traits.region_index[record.client_id])
+                assert rtt_ms == result.rtt.matrix[region, server]
+
+    def test_mismatched_rtt_matrix_rejected(self, small_fleet, saturating_config):
+        regions = saturating_config.region_profile
+        bad_servers = RttMatrix(
+            region_names=regions.names,
+            server_regions=np.zeros(N_SERVERS + 1, dtype=np.int64),
+            matrix=np.ones((regions.n_regions, N_SERVERS + 1)),
+        )
+        with pytest.raises(ValueError):
+            simulate_matchmaking(
+                small_fleet, "lowest_rtt", saturating_config, rtt=bad_servers
+            )
+        bad_regions = RttMatrix(
+            region_names=("elsewhere",),
+            server_regions=np.zeros(N_SERVERS, dtype=np.int64),
+            matrix=np.ones((1, N_SERVERS)),
+        )
+        with pytest.raises(ValueError):
+            simulate_matchmaking(
+                small_fleet, "lowest_rtt", saturating_config, rtt=bad_regions
+            )
+
+    def test_describe_reports_rtt(self, results):
+        for result in results.values():
+            assert " ms" in result.describe()
+
+    def test_legacy_four_argument_policy_still_runs(
+        self, small_fleet, saturating_config
+    ):
+        # policies written against the pre-RTT select() signature must
+        # keep working: the engine only passes rtt to those that accept it
+        class LegacyFirstOpen(SelectionPolicy):
+            name = "legacy_first_open"
+
+            def select(self, occupancy, capacities, last_server, rng):
+                open_servers = np.flatnonzero(occupancy < capacities)
+                if open_servers.size == 0:
+                    return None
+                return int(open_servers[0])
+
+        result = simulate_matchmaking(
+            small_fleet, LegacyFirstOpen(), saturating_config
+        )
+        assert result.admission.admitted > 0
+        # RTTs are still recorded for the QoE analytics
+        assert result.all_session_rtts().size == result.admission.admitted
+
+    def test_session_rtt_warmup_cut(self, results):
+        result = results["least_loaded"]
+        cutoff = 300.0
+        cut = result.all_session_rtts(after=cutoff)
+        expected = sum(
+            sum(1 for record in session_list if record.start >= cutoff)
+            for session_list in result.sessions
+        )
+        assert cut.size == expected
+        assert 0 < cut.size < result.all_session_rtts().size
+        assert result.latency_stats(after=cutoff).count == expected
+        # past the horizon nothing remains, and the stats degrade cleanly
+        assert result.latency_stats(after=HORIZON).count == 0
+
+    def test_latency_aware_reads_current_row_contents(self):
+        # select is a pure function of its arguments: mutating the row
+        # in place between calls must be reflected immediately (no
+        # stale normalisation state inside the policy)
+        capacities = np.array([8, 8])
+        occupancy = np.array([0, 0])
+        rng = np.random.default_rng(0)
+        policy = LatencyAwarePolicy(alpha=0.0, beta=1.0)
+        row = np.array([10.0, 100.0])
+        assert policy.select(occupancy, capacities, -1, rng, rtt=row) == 0
+        row[:] = [100.0, 10.0]
+        assert policy.select(occupancy, capacities, -1, rng, rtt=row) == 1
+
 
 class TestAssignedTraffic:
     def test_assigned_population_roundtrip(self, results, small_fleet):
@@ -308,6 +597,42 @@ class TestFacilityMetrics:
     def test_occupancy_stats_shape_validated(self):
         with pytest.raises(ValueError):
             OccupancyStats.from_occupancy(np.zeros((2, 3)), np.array([4]))
+
+    def test_latency_stats_from_rtts(self):
+        stats = LatencyStats.from_rtts(
+            np.array([10.0, 20.0, 30.0, 40.0]), percentile=50.0
+        )
+        assert stats.count == 4
+        assert stats.mean_ms == pytest.approx(25.0)
+        assert stats.median_ms == pytest.approx(25.0)
+        assert stats.p_ms == pytest.approx(25.0)
+        assert stats.max_ms == pytest.approx(40.0)
+
+    def test_latency_stats_empty_and_invalid(self):
+        empty = LatencyStats.from_rtts(np.empty(0))
+        assert empty.count == 0
+        assert empty.mean_ms == 0.0
+        with pytest.raises(ValueError):
+            LatencyStats.from_rtts(np.array([1.0]), percentile=0.0)
+        with pytest.raises(ValueError):
+            LatencyStats.from_rtts(np.array([-1.0]))
+        with pytest.raises(ValueError):
+            LatencyStats.from_rtts(np.ones((2, 2)))
+
+    def test_occupancy_rtt_frontier(self):
+        points = {
+            "fill": (0.96, 52.0),       # highest occupancy
+            "qoe": (0.94, 30.0),        # lower RTT, slightly emptier
+            "dominated": (0.93, 55.0),  # worse on both axes
+        }
+        assert occupancy_rtt_frontier(points) == ("fill", "qoe")
+
+    def test_occupancy_rtt_frontier_orders_by_utilization(self):
+        points = {"a": (0.5, 10.0), "b": (0.9, 20.0), "c": (0.7, 15.0)}
+        assert occupancy_rtt_frontier(points) == ("b", "c", "a")
+        # a tie on both axes keeps both (neither strictly dominates)
+        tied = {"x": (0.8, 12.0), "y": (0.8, 12.0)}
+        assert occupancy_rtt_frontier(tied) == ("x", "y")
 
     def test_policy_multiplexing_gain(self):
         def envelope(peak, mean):

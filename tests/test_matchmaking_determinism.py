@@ -1,9 +1,11 @@
 """Determinism contracts of the matchmaking closed loop.
 
 The tentpole guarantees: policy runs are bit-identical across worker
-counts and across warm/cold shard caches, admission never overfills a
-server (property-tested), and endogenous facilitynet ingress follows
-the assigned populations.
+counts and across warm/cold shard caches (latency-aware placement
+included), a uniform RTT matrix pins ``lowest_rtt`` — and α-only
+``latency_aware`` — to ``least_loaded`` assignment-for-assignment,
+admission never overfills a server (property-tested), and endogenous
+facilitynet ingress follows the assigned populations.
 """
 
 import numpy as np
@@ -13,7 +15,12 @@ from hypothesis import given, settings, strategies as st
 from repro.fleet.cache import ShardCache
 from repro.fleet.profiles import hosting_facility
 from repro.fleet.scenario import FleetScenario
-from repro.matchmaking import PoolConfig, simulate_matchmaking
+from repro.matchmaking import (
+    LatencyAwarePolicy,
+    PoolConfig,
+    RttMatrix,
+    simulate_matchmaking,
+)
 from repro.facilitynet.pipeline import rack_ingress_traces
 from repro.facilitynet.topology import build_topology
 
@@ -120,6 +127,106 @@ class TestCacheWarmth:
         # different placement -> different session tuples -> no reuse
         assert other_cache.stats.hits == 0
         assert other_cache.stats.stores == fleet.n_servers
+
+
+class TestUniformRttParity:
+    """A flat RTT geometry collapses latency awareness onto load."""
+
+    @pytest.fixture(scope="class")
+    def config(self, fleet):
+        return PoolConfig.for_fleet(
+            fleet,
+            demand_ratio=2.0,
+            epoch_length=30.0,
+            session_duration_mean=150.0,
+        )
+
+    @pytest.fixture(scope="class")
+    def uniform(self, fleet, config):
+        matrix = RttMatrix.for_fleet(
+            fleet, config.region_profile, profile="uniform"
+        )
+        assert matrix.is_uniform
+        return matrix
+
+    def _assert_same_assignments(self, a, b):
+        assert a.sessions == b.sessions
+        assert np.array_equal(a.occupancy, b.occupancy)
+        assert a.admission == b.admission
+        assert a.repeat_assignments == b.repeat_assignments
+
+    def test_lowest_rtt_reproduces_least_loaded(self, fleet, config, uniform):
+        baseline = simulate_matchmaking(fleet, "least_loaded", config)
+        pinned = simulate_matchmaking(fleet, "lowest_rtt", config, rtt=uniform)
+        self._assert_same_assignments(baseline, pinned)
+
+    def test_alpha_only_latency_aware_reproduces_least_loaded(
+        self, fleet, config
+    ):
+        # β = 0 ignores the matrix entirely, so even a non-uniform
+        # geometry leaves the assignments bit-identical to least_loaded
+        baseline = simulate_matchmaking(fleet, "least_loaded", config)
+        alpha_only = simulate_matchmaking(
+            fleet, LatencyAwarePolicy(alpha=1.0, beta=0.0), config
+        )
+        self._assert_same_assignments(baseline, alpha_only)
+
+    def test_non_uniform_geometry_moves_assignments(self, fleet, config):
+        # the parity is a property of the *uniform* matrix: the stock
+        # global geometry must actually change latency-aware placement
+        baseline = simulate_matchmaking(fleet, "least_loaded", config)
+        aware = simulate_matchmaking(fleet, "lowest_rtt", config)
+        assert aware.sessions != baseline.sessions
+
+
+class TestLatencyAwareExperimentPathDeterminism:
+    """The new policies ride the sharded/cached stage bit-identically."""
+
+    @pytest.fixture(scope="class")
+    def aware_result(self, fleet):
+        config = PoolConfig.for_fleet(
+            fleet,
+            demand_ratio=2.0,
+            epoch_length=30.0,
+            session_duration_mean=150.0,
+        )
+        return simulate_matchmaking(fleet, "latency_aware", config)
+
+    @pytest.mark.parametrize("workers", [4])
+    def test_series_bit_identical_across_worker_counts(
+        self, aware_result, workers
+    ):
+        serial = FleetScenario.from_matchmaking(
+            aware_result
+        ).aggregate_per_second(workers=1)
+        sharded = FleetScenario.from_matchmaking(
+            aware_result
+        ).aggregate_per_second(workers=workers)
+        assert _series_equal(serial, sharded)
+
+    def test_warm_rerun_replays_bit_identically(self, aware_result, tmp_path):
+        cache = ShardCache(tmp_path / "aware-shards")
+        cold = FleetScenario.from_matchmaking(
+            aware_result, cache=cache
+        ).aggregate_per_second(workers=1)
+        assert cache.stats.stores == aware_result.n_servers
+
+        warm_cache = ShardCache(tmp_path / "aware-shards")
+        warm = FleetScenario.from_matchmaking(
+            aware_result, cache=warm_cache
+        ).aggregate_per_second(workers=4)
+        assert warm_cache.stats.hits == aware_result.n_servers
+        assert warm_cache.stats.stores == 0
+        assert _series_equal(cold, warm)
+
+    def test_rtt_geometry_is_seed_deterministic(self, fleet, aware_result):
+        config = aware_result.config
+        again = simulate_matchmaking(fleet, "latency_aware", config)
+        assert np.array_equal(aware_result.rtt.matrix, again.rtt.matrix)
+        assert aware_result.sessions == again.sessions
+        assert np.array_equal(aware_result.occupancy, again.occupancy)
+        shifted = simulate_matchmaking(fleet, "latency_aware", config, seed=99)
+        assert not np.array_equal(aware_result.rtt.matrix, shifted.rtt.matrix)
 
 
 class TestAdmissionProperty:

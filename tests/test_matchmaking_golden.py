@@ -1,0 +1,143 @@
+"""Golden regression pins for the matchmaking experiment's summaries.
+
+A small fixed-seed scenario (3 servers, 15 minutes, saturating pool,
+seed 3) run through every selection policy, with the resulting
+``describe()`` lines, latency statistics, frontier and RTT geometry
+pinned to literal values.  Any engine, policy or RTT refactor that
+changes placement — or merely the reported numbers — fails here first,
+loudly, instead of silently drifting the experiment's claims.  If a
+change is *intentional*, regenerate the constants below from the
+fixture scenario and say so in the commit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.facility import occupancy_rtt_frontier
+from repro.fleet.profiles import hosting_facility
+from repro.matchmaking import (
+    POLICIES,
+    PoolConfig,
+    RttMatrix,
+    simulate_matchmaking,
+)
+
+SEED = 3
+N_SERVERS = 3
+HORIZON = 900.0
+
+#: Exact one-line summaries, keyed by policy (the describe() goldens).
+GOLDEN_DESCRIBE = {
+    "random": (
+        "        random: 385 admitted / 805 attempts, rejection  52.2%, "
+        "utilization 94.0%, affinity 10.4%, rtt   56.3 ms"
+    ),
+    "least_loaded": (
+        "  least_loaded: 403 admitted / 796 attempts, rejection  49.4%, "
+        "utilization 98.1%, affinity 13.2%, rtt   59.5 ms"
+    ),
+    "sticky": (
+        "        sticky: 395 admitted / 797 attempts, rejection  50.4%, "
+        "utilization 98.1%, affinity 16.5%, rtt   57.8 ms"
+    ),
+    "capacity_aware": (
+        "capacity_aware: 395 admitted / 1248 attempts, rejection  68.3%, "
+        "utilization 98.3%, affinity 10.9%, rtt   54.9 ms"
+    ),
+    "lowest_rtt": (
+        "    lowest_rtt: 401 admitted / 797 attempts, rejection  49.7%, "
+        "utilization 97.3%, affinity 13.7%, rtt   44.7 ms"
+    ),
+    "latency_aware": (
+        " latency_aware: 409 admitted / 797 attempts, rejection  48.7%, "
+        "utilization 97.5%, affinity 10.8%, rtt   46.9 ms"
+    ),
+}
+
+#: (admitted count, mean RTT ms, p95 RTT ms) per policy.
+GOLDEN_LATENCY = {
+    "random": (385, 56.33198627467284, 104.98107230915922),
+    "least_loaded": (403, 59.526662843388905, 104.98107230915922),
+    "sticky": (395, 57.82454311196402, 118.17737461992868),
+    "capacity_aware": (395, 54.87107372711616, 104.98107230915922),
+    "lowest_rtt": (401, 44.65615799653594, 104.98107230915922),
+    "latency_aware": (409, 46.87018975794818, 104.98107230915922),
+}
+
+#: The occupancy-vs-RTT Pareto frontier of this scenario.
+GOLDEN_FRONTIER = ("capacity_aware", "latency_aware", "lowest_rtt")
+
+#: RTT geometry fingerprint: corner entry and whole-matrix sum (ms).
+GOLDEN_RTT_CORNER = 11.166165027712966
+GOLDEN_RTT_SUM = 724.3346093215944
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    fleet = hosting_facility(n_servers=N_SERVERS, duration=HORIZON, seed=SEED)
+    config = PoolConfig.for_fleet(
+        fleet,
+        demand_ratio=3.0,
+        epoch_length=60.0,
+        session_duration_mean=180.0,
+        session_duration_min=5.0,
+    )
+    rtt = RttMatrix.for_fleet(fleet, config.region_profile, seed=SEED)
+    return fleet, config, rtt
+
+
+@pytest.fixture(scope="module")
+def results(scenario):
+    fleet, config, rtt = scenario
+    return {
+        name: simulate_matchmaking(fleet, name, config, rtt=rtt)
+        for name in POLICIES
+    }
+
+
+class TestGoldenSummaries:
+    def test_every_policy_is_pinned(self):
+        assert set(GOLDEN_DESCRIBE) == set(POLICIES)
+        assert set(GOLDEN_LATENCY) == set(POLICIES)
+
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    def test_describe_line_exact(self, results, name):
+        assert results[name].describe() == GOLDEN_DESCRIBE[name]
+
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    def test_latency_stats_pinned(self, results, name):
+        admitted, mean_ms, p95_ms = GOLDEN_LATENCY[name]
+        stats = results[name].latency_stats()
+        assert stats.count == admitted
+        assert stats.mean_ms == pytest.approx(mean_ms, rel=1e-9)
+        assert stats.p_ms == pytest.approx(p95_ms, rel=1e-9)
+
+    def test_frontier_pinned(self, results):
+        points = {
+            name: (
+                result.occupancy_stats().utilization,
+                result.latency_stats().mean_ms,
+            )
+            for name, result in results.items()
+        }
+        assert occupancy_rtt_frontier(points) == GOLDEN_FRONTIER
+
+    def test_rtt_geometry_pinned(self, scenario):
+        _, _, rtt = scenario
+        assert float(rtt.matrix[0, 0]) == pytest.approx(
+            GOLDEN_RTT_CORNER, rel=1e-9
+        )
+        assert float(rtt.matrix.sum()) == pytest.approx(
+            GOLDEN_RTT_SUM, rel=1e-9
+        )
+
+    def test_latency_aware_beats_least_loaded_here_too(self, results):
+        # the acceptance-criterion shape holds even on this tiny fixture:
+        # strictly lower mean RTT at a few points of utilization at most
+        aware = results["latency_aware"]
+        baseline = results["least_loaded"]
+        assert aware.latency_stats().mean_ms < baseline.latency_stats().mean_ms
+        assert (
+            aware.occupancy_stats().utilization
+            >= baseline.occupancy_stats().utilization - 0.05
+        )

@@ -1,0 +1,161 @@
+"""Property-based invariants of the server-selection policies.
+
+The matchmaker trusts its policies to respect a few contracts no matter
+what occupancy snapshot they see: admission-control policies
+(``capacity_aware``, ``latency_aware``, ``lowest_rtt``) never hand back
+a full server, ``sticky`` always honours a previous server with room,
+``lowest_rtt`` really is an argmin over the reachable servers, and every
+policy is a *pure* function of ``(occupancy, capacities, last_server,
+rtt, rng state)`` — no hidden state, no input mutation.  Hypothesis
+drives these over arbitrary facilities so a future policy refactor
+cannot quietly weaken the slot-table or determinism guarantees.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.matchmaking import POLICIES, make_policy
+from repro.matchmaking.policies import (
+    CapacityAwarePolicy,
+    LatencyAwarePolicy,
+    LowestRttPolicy,
+    StickyPolicy,
+)
+
+
+@st.composite
+def facility_snapshots(draw):
+    """An arbitrary ``(occupancy, capacities, last_server, rtt)`` state."""
+    n_servers = draw(st.integers(min_value=1, max_value=8))
+    capacities = np.asarray(
+        draw(
+            st.lists(
+                st.integers(min_value=1, max_value=32),
+                min_size=n_servers,
+                max_size=n_servers,
+            )
+        ),
+        dtype=np.int64,
+    )
+    occupancy = np.asarray(
+        [
+            draw(st.integers(min_value=0, max_value=int(cap)))
+            for cap in capacities
+        ],
+        dtype=np.int64,
+    )
+    last_server = draw(st.integers(min_value=-1, max_value=n_servers - 1))
+    rtt = np.asarray(
+        draw(
+            st.lists(
+                st.floats(
+                    min_value=0.5,
+                    max_value=500.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                min_size=n_servers,
+                max_size=n_servers,
+            )
+        ),
+        dtype=float,
+    )
+    return occupancy, capacities, last_server, rtt
+
+
+class TestAdmissionControlNeverOverfills:
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [CapacityAwarePolicy, LatencyAwarePolicy, LowestRttPolicy],
+        ids=["capacity_aware", "latency_aware", "lowest_rtt"],
+    )
+    @given(snapshot=facility_snapshots(), seed=st.integers(0, 2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_never_selects_a_full_server(self, policy_factory, snapshot, seed):
+        occupancy, capacities, last_server, rtt = snapshot
+        rng = np.random.default_rng(seed)
+        chosen = policy_factory().select(
+            occupancy, capacities, last_server, rng, rtt=rtt
+        )
+        if np.all(occupancy >= capacities):
+            assert chosen is None
+        else:
+            assert chosen is not None
+            assert occupancy[chosen] < capacities[chosen]
+
+    @given(
+        snapshot=facility_snapshots(),
+        alpha=st.floats(0.0, 10.0, allow_nan=False),
+        beta=st.floats(0.0, 10.0, allow_nan=False),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_latency_aware_for_any_weights(self, snapshot, alpha, beta, seed):
+        occupancy, capacities, last_server, rtt = snapshot
+        chosen = LatencyAwarePolicy(alpha=alpha, beta=beta).select(
+            occupancy, capacities, last_server, np.random.default_rng(seed),
+            rtt=rtt,
+        )
+        if chosen is not None:
+            assert occupancy[chosen] < capacities[chosen]
+
+
+class TestStickyAffinity:
+    @given(snapshot=facility_snapshots(), seed=st.integers(0, 2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_returns_last_server_whenever_it_has_room(self, snapshot, seed):
+        occupancy, capacities, last_server, rtt = snapshot
+        rng = np.random.default_rng(seed)
+        chosen = StickyPolicy().select(
+            occupancy, capacities, last_server, rng, rtt=rtt
+        )
+        if 0 <= last_server and occupancy[last_server] < capacities[last_server]:
+            assert chosen == last_server
+        elif np.all(occupancy >= capacities):
+            assert chosen is None
+        else:
+            assert chosen is not None
+            assert occupancy[chosen] < capacities[chosen]
+
+
+class TestLowestRttIsAnArgmin:
+    @given(snapshot=facility_snapshots(), seed=st.integers(0, 2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_choice_minimises_rtt_over_open_servers(self, snapshot, seed):
+        occupancy, capacities, last_server, rtt = snapshot
+        rng = np.random.default_rng(seed)
+        chosen = LowestRttPolicy().select(
+            occupancy, capacities, last_server, rng, rtt=rtt
+        )
+        open_servers = np.flatnonzero(occupancy < capacities)
+        if open_servers.size == 0:
+            assert chosen is None
+        else:
+            assert chosen in open_servers
+            assert rtt[chosen] == rtt[open_servers].min()
+
+
+class TestPoliciesArePureFunctions:
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    @given(snapshot=facility_snapshots(), seed=st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_same_inputs_same_rng_state_same_choice(self, name, snapshot, seed):
+        occupancy, capacities, last_server, rtt = snapshot
+        policy = make_policy(name)
+        before = (occupancy.copy(), capacities.copy(), rtt.copy())
+        first = policy.select(
+            occupancy, capacities, last_server,
+            np.random.default_rng(seed), rtt=rtt,
+        )
+        # a second call — same snapshot, a fresh generator at the same
+        # state, even a fresh policy instance — must reproduce the choice
+        second = make_policy(name).select(
+            occupancy.copy(), capacities.copy(), last_server,
+            np.random.default_rng(seed), rtt=rtt.copy(),
+        )
+        assert first == second
+        # and the snapshot the policy read is untouched
+        assert np.array_equal(occupancy, before[0])
+        assert np.array_equal(capacities, before[1])
+        assert np.array_equal(rtt, before[2])
