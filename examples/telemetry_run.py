@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Trace a run, then read its artifacts back — the observability loop.
+
+Runs the closed-loop matchmaking experiment inside a trace session
+(exactly what ``repro-experiments --trace-dir`` does), then loads the
+artifact directory and prints what an operator would want from a run
+they did not watch: the per-stage wall-time breakdown from the span
+records, the cache hit rate from the metric totals, and the streamed
+per-epoch admission series.
+
+Usage::
+
+    python examples/telemetry_run.py [trace_dir]
+
+With no argument the artifacts go to a temporary directory.
+"""
+
+import sys
+import tempfile
+
+from repro import obs
+from repro.experiments.runner import run_experiments
+from repro.obs.export import load_manifest, read_jsonl
+
+
+def traced_run(trace_dir: str) -> None:
+    """One traced experiment run (what --trace-dir wires up)."""
+    obs.start_trace_session(
+        trace_dir,
+        seed=0,
+        experiments=["matchmaking"],
+        config_fingerprint=obs.export.fingerprint({"seed": 0}),
+    )
+    try:
+        run_experiments(["matchmaking"], seed=0)
+    finally:
+        manifest_path = obs.end_trace_session()
+    print(f"trace artifacts in {trace_dir} (manifest: {manifest_path})")
+    print()
+
+
+def wall_time_breakdown(trace_dir: str) -> None:
+    """Aggregate span records into a per-stage wall-time table."""
+    spans = read_jsonl(f"{trace_dir}/spans.jsonl")
+    by_name = {}
+    for record in spans:
+        calls, wall = by_name.get(record["name"], (0, 0.0))
+        by_name[record["name"]] = (calls + 1, wall + record["wall_s"])
+    total = sum(r["wall_s"] for r in spans if r["depth"] == 0)
+    print("per-stage wall time (from spans.jsonl):")
+    for name, (calls, wall) in sorted(
+        by_name.items(), key=lambda item: -item[1][1]
+    ):
+        share = 100.0 * wall / total if total else 0.0
+        print(f"  {name:<24} {calls:>4} calls  {wall:8.3f} s  {share:5.1f}%")
+    print()
+
+
+def metric_totals(trace_dir: str) -> None:
+    """Headline counters from the manifest's metric snapshot."""
+    manifest = load_manifest(trace_dir)
+    metrics = manifest["metrics"]
+    print(f"run manifest (schema {manifest['schema']}):")
+    print(f"  seed {manifest['seed']}, git {manifest['git_rev'][:12]}, "
+          f"config {manifest['config_fingerprint'][:12]}")
+    print(f"  duration {manifest['duration_s']:.2f} s, "
+          f"{len(manifest['artifacts'])} artifacts")
+
+    hits = metrics.get("shard_cache.hits", 0)
+    misses = metrics.get("shard_cache.misses", 0)
+    served = hits + misses
+    if served:
+        print(f"  shard cache: {hits}/{served} served from disk "
+              f"({100.0 * hits / served:.1f}% hit rate)")
+    else:
+        print("  shard cache: unused (no --cache-dir)")
+
+    packets = metrics.get("kernels.fifo.packets", 0)
+    fast = metrics.get("kernels.fifo.fast_segments", 0)
+    fallback = metrics.get("kernels.fifo.scalar_fallback_segments", 0)
+    if fast + fallback:
+        print(f"  fifo kernel: {packets:,} packets, "
+              f"{fast:,} fast segments, {fallback:,} scalar fallbacks")
+    print()
+
+
+def epoch_series(trace_dir: str) -> None:
+    """The streamed per-epoch admission series, policy by policy."""
+    epochs = read_jsonl(f"{trace_dir}/matchmaking_epochs.jsonl")
+    policies = sorted({row["policy"] for row in epochs})
+    print(f"streamed epochs: {len(epochs)} rows, {len(policies)} policies")
+    for policy in policies:
+        rows = [row for row in epochs if row["policy"] == policy]
+        admitted = sum(row["admitted"] for row in rows)
+        balked = sum(row["balked"] for row in rows)
+        peak = max(row["occupancy"] for row in rows)
+        print(f"  {policy:>16}: {admitted:>4} admitted, {balked:>4} balked, "
+              f"peak occupancy {peak}/{rows[-1]['capacity']}")
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        trace_dir = sys.argv[1]
+        traced_run(trace_dir)
+        wall_time_breakdown(trace_dir)
+        metric_totals(trace_dir)
+        epoch_series(trace_dir)
+        return
+    with tempfile.TemporaryDirectory(prefix="telemetry-run-") as trace_dir:
+        traced_run(trace_dir)
+        wall_time_breakdown(trace_dir)
+        metric_totals(trace_dir)
+        epoch_series(trace_dir)
+
+
+if __name__ == "__main__":
+    main()

@@ -36,6 +36,13 @@ Top-level layout:
   region×server RTT matrix), making facility load endogenous to
   placement; deterministic epoch engine plus sharded, cacheable
   per-server traffic synthesis over the assignments;
+* :mod:`repro.obs` — passive observability threaded through every
+  layer: a span tracer (no-op unless installed), a process-local
+  metrics registry (cache hits, kernel fast-path vs fallback segments,
+  admissions/balks, per-hop drops), streaming JSONL/npz artifact
+  exporters with a per-run manifest (``repro-experiments
+  --trace-dir``), and the ``BENCH_obs_*.json`` perf trajectory; traced
+  and untraced runs are bit-identical by construction;
 * :mod:`repro.experiments` — one module per table/figure plus the
   fleet provisioning, facility network and matchmaking experiments,
   with a CLI runner (``repro-experiments``, see EXPERIMENTS.md).

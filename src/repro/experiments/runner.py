@@ -91,6 +91,8 @@ DESCRIPTIONS: Dict[str, str] = {
 
 def run_experiments(ids: List[str], seed: int = 0) -> List[ExperimentOutput]:
     """Run the named experiments and return their outputs."""
+    from repro import obs
+
     outputs = []
     for experiment_id in ids:
         if experiment_id not in REGISTRY:
@@ -98,7 +100,8 @@ def run_experiments(ids: List[str], seed: int = 0) -> List[ExperimentOutput]:
                 f"unknown experiment {experiment_id!r}; "
                 f"known: {', '.join(sorted(REGISTRY))}"
             )
-        outputs.append(REGISTRY[experiment_id](seed))
+        with obs.span("experiment", id=experiment_id, seed=seed):
+            outputs.append(REGISTRY[experiment_id](seed))
     return outputs
 
 
@@ -127,12 +130,13 @@ def _score_weight(text: str) -> float:
         raise argparse.ArgumentTypeError(str(error))
 
 
-def _cache_dir(text: str) -> str:
-    """argparse type for ``--cache-dir``: usable now or creatable.
+def _writable_directory(text: str) -> str:
+    """Validate a directory path that must be usable now or creatable.
 
     Rejects paths whose parent does not exist and paths that exist but
     are not writable directories, so a long experiment run fails at
-    argument parsing (exit 2) instead of at its first cache store.
+    argument parsing (exit 2) instead of at its first write.  Shared by
+    ``--cache-dir`` and ``--trace-dir``.
     """
     path = Path(text)
     if path.exists():
@@ -155,6 +159,11 @@ def _cache_dir(text: str) -> str:
             f"{str(parent)!r} is not writable"
         )
     return text
+
+
+#: argparse types for ``--cache-dir`` / ``--trace-dir`` (same contract).
+_cache_dir = _writable_directory
+_trace_dir = _writable_directory
 
 
 def main(argv: List[str] = None) -> int:
@@ -185,6 +194,16 @@ def main(argv: List[str] = None) -> int:
         "results (created if missing; the parent must exist and be "
         "writable); a warm re-run replays cached windows bit-identically "
         "instead of resimulating",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        type=_trace_dir,
+        default=None,
+        metavar="DIR",
+        help="write run telemetry here (created if missing; the parent "
+        "must exist and be writable): streaming per-epoch/per-hop JSONL, "
+        "columnar .npz series, span timings and a manifest.json tying "
+        "them to the seed, config fingerprint and git revision",
     )
     parser.add_argument(
         "--policy",
@@ -261,8 +280,32 @@ def main(argv: List[str] = None) -> int:
     if args.beta is not None:
         matchmaking.set_default_beta(args.beta)
 
+    manifest_path = None
     try:
         ids = args.experiments or list(REGISTRY)
+        if args.trace_dir is not None:
+            from repro import obs
+            from repro.obs.export import fingerprint
+
+            # the fingerprint covers every knob that shapes the run, so
+            # two manifests with equal fingerprints are comparable runs
+            obs.start_trace_session(
+                args.trace_dir,
+                seed=args.seed,
+                experiments=ids,
+                config_fingerprint=fingerprint(
+                    {
+                        "seed": args.seed,
+                        "experiments": ids,
+                        "workers": args.workers,
+                        "policy": args.policy,
+                        "pool_size": args.pool_size,
+                        "rtt_profile": args.rtt_profile,
+                        "alpha": args.alpha,
+                        "beta": args.beta,
+                    }
+                ),
+            )
         outputs = run_experiments(ids, seed=args.seed)
     except ValueError as error:
         # feasibility of --pool-size depends on the (seed-derived)
@@ -273,6 +316,11 @@ def main(argv: List[str] = None) -> int:
         print(f"error: --pool-size: {error}", file=sys.stderr)
         return 2
     finally:
+        if args.trace_dir is not None:
+            from repro import obs
+
+            if obs.current_session() is not None:
+                manifest_path = obs.end_trace_session()
         if cache is not None:
             set_default_cache(None)
         matchmaking.set_default_policy(None)
@@ -294,6 +342,8 @@ def main(argv: List[str] = None) -> int:
         # stats only make sense when a cache dir is active; the line
         # names the directory so multi-cache workflows stay attributable
         print(cache.stats_line())
+    if manifest_path is not None:
+        print(f"trace {args.trace_dir}: manifest at {manifest_path}")
     return 1 if failures else 0
 
 

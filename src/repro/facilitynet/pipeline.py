@@ -24,6 +24,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.facilitynet.hops import HopTraversal, bps_hop, pps_hop
 from repro.facilitynet.topology import FacilityTopology, LinkSpec, SwitchSpec
 from repro.fleet.aggregate import TraceAccumulator, kway_merge_traces
@@ -229,11 +230,40 @@ def _apply_hop(spec, trace: Trace, seed: int) -> HopTraversal:
     raise TypeError(f"unknown hop spec {spec!r}")
 
 
+def _publish_hop(report: HopReport) -> None:
+    """Passive per-hop telemetry: registry counters plus (when a trace
+    session is active) one streamed JSONL row per hop traversal."""
+    metrics = obs.registry()
+    metrics.counter("facilitynet.offered").inc(report.offered)
+    metrics.counter("facilitynet.forwarded").inc(report.forwarded)
+    metrics.counter("facilitynet.dropped").inc(report.dropped)
+    metrics.histogram("facilitynet.hop_mean_delay_s").observe(
+        report.mean_delay_s
+    )
+    session = obs.current_session()
+    if session is not None:
+        session.stream("facilitynet_hops").write(
+            {
+                "hop": report.name,
+                "tier": report.tier,
+                "offered": report.offered,
+                "forwarded": report.forwarded,
+                "dropped": report.dropped,
+                "loss_rate": report.loss_rate,
+                "offered_payload_bytes": report.offered_payload_bytes,
+                "forwarded_payload_bytes": report.forwarded_payload_bytes,
+                "mean_delay_s": report.mean_delay_s,
+                "p99_delay_s": report.p99_delay_s,
+                "max_delay_s": report.max_delay_s,
+            }
+        )
+
+
 def _report(spec, traversal: HopTraversal, start: float, end: float) -> HopReport:
     delays = traversal.delays()
     payload = traversal.ingress.payload_sizes.astype(np.float64)
     forwarded_payload = float(payload[traversal.fates == 1].sum())
-    return HopReport(
+    report = HopReport(
         name=spec.name,
         tier=spec.tier,
         offered=traversal.offered,
@@ -246,6 +276,8 @@ def _report(spec, traversal: HopTraversal, start: float, end: float) -> HopRepor
         max_delay_s=float(delays.max()) if delays.size else 0.0,
         series=traversal.series(start, end),
     )
+    _publish_hop(report)
+    return report
 
 
 @dataclass
@@ -291,14 +323,16 @@ def run_fabric(
     reports: List[HopReport] = []
     rack_egresses: List[Trace] = []
     for rack, trace in zip(topology.racks, ingress):
-        traversal = _apply_hop(rack.switch, trace, seed)
-        reports.append(_report(rack.switch, traversal, start, end_pad))
-        rack_egresses.append(traversal.egress())
+        with obs.span("facilitynet.hop", hop=rack.switch.name, tier="rack"):
+            traversal = _apply_hop(rack.switch, trace, seed)
+            reports.append(_report(rack.switch, traversal, start, end_pad))
+            rack_egresses.append(traversal.egress())
 
     core_ingress = kway_merge_traces(rack_egresses)
     del rack_egresses
-    core_traversal = _apply_hop(topology.core, core_ingress, seed)
-    reports.append(_report(topology.core, core_traversal, start, end_pad))
+    with obs.span("facilitynet.hop", hop=topology.core.name, tier="core"):
+        core_traversal = _apply_hop(topology.core, core_ingress, seed)
+        reports.append(_report(topology.core, core_traversal, start, end_pad))
     return FabricTraversal(
         start=float(start),
         end=float(end),
@@ -318,14 +352,17 @@ def finish_uplink(
     The fabric must have been produced by an identically-provisioned
     rack/core tree; only the uplink spec may differ between calls.
     """
-    uplink_traversal = bps_hop(
-        fabric.core_egress,
-        rate_bps=topology.uplink.rate_bps,
-        buffer_bytes=topology.uplink.buffer_bytes,
-    )
-    report = _report(
-        topology.uplink, uplink_traversal, fabric.start, fabric.end_pad
-    )
+    with obs.span(
+        "facilitynet.hop", hop=topology.uplink.name, tier="uplink"
+    ):
+        uplink_traversal = bps_hop(
+            fabric.core_egress,
+            rate_bps=topology.uplink.rate_bps,
+            buffer_bytes=topology.uplink.buffer_bytes,
+        )
+        report = _report(
+            topology.uplink, uplink_traversal, fabric.start, fabric.end_pad
+        )
     delivered = uplink_traversal.egress() if keep_delivered else None
     return PipelineResult(
         start=fabric.start,

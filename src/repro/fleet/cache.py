@@ -41,7 +41,6 @@ import hashlib
 import os
 import pickle
 import tempfile
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Optional, Tuple
 
@@ -49,6 +48,7 @@ import numpy as np
 
 import repro
 from repro.kernels import KERNEL_VERSION
+from repro.obs.metrics import MetricsRegistry, registry as process_metrics
 
 #: Bump on any change to the entry layout or canonicalisation rules.
 _FORMAT_VERSION = 1
@@ -104,15 +104,65 @@ def _canonical(value: Any) -> str:
     return f"{type(value).__name__}<{text}>"
 
 
-@dataclass
 class CacheStats:
-    """Counters of one process's traffic through a :class:`ShardCache`."""
+    """Counters of one cache's traffic, backed by a metrics registry.
 
-    hits: int = 0
-    misses: int = 0
-    stores: int = 0
-    #: Corrupt/truncated entries discarded and recomputed.
-    invalid: int = 0
+    Reads (``stats.hits``) and in-place bumps (``stats.misses += n``)
+    work as on the plain-int dataclass this used to be, but the values
+    now live in a private per-cache :class:`~repro.obs.metrics.MetricsRegistry`
+    — and every *increment* is mirrored into the process-wide registry
+    (``shard_cache.hits`` …), so fleet-wide totals land in trace
+    manifests.  ``snapshot()``/``reset()`` scope accounting per run: a
+    long-lived cache instance no longer has to accumulate forever.
+    """
+
+    _FIELDS = ("hits", "misses", "stores", "invalid")
+
+    __slots__ = ("metrics",)
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        for field in self._FIELDS:
+            self.metrics.counter(f"cache.{field}")
+
+    def _get(self, field: str) -> int:
+        return self.metrics.counter(f"cache.{field}").value
+
+    def _set(self, field: str, value: int) -> None:
+        counter = self.metrics.counter(f"cache.{field}")
+        delta = int(value) - counter.value
+        counter.inc(delta)  # rejects decrements: counts only go up
+        process_metrics().counter(f"shard_cache.{field}").inc(delta)
+
+    hits = property(
+        lambda self: self._get("hits"),
+        lambda self, value: self._set("hits", value),
+        doc="Entries served from disk.",
+    )
+    misses = property(
+        lambda self: self._get("misses"),
+        lambda self, value: self._set("misses", value),
+        doc="Lookups that had to compute.",
+    )
+    stores = property(
+        lambda self: self._get("stores"),
+        lambda self, value: self._set("stores", value),
+        doc="Entries persisted this run.",
+    )
+    invalid = property(
+        lambda self: self._get("invalid"),
+        lambda self, value: self._set("invalid", value),
+        doc="Corrupt/truncated entries discarded and recomputed.",
+    )
+
+    def snapshot(self) -> dict:
+        """Plain-int copy of the counters, e.g. ``{"hits": 8, ...}``."""
+        return {field: self._get(field) for field in self._FIELDS}
+
+    def reset(self) -> None:
+        """Zero this cache's counters (the process-wide mirror keeps
+        its totals — it aggregates every cache in the process)."""
+        self.metrics.reset()
 
     def render(self) -> str:
         """One status line, e.g. ``8 hits, 0 misses (8 entries reused)``."""
@@ -120,6 +170,9 @@ class CacheStats:
         if self.invalid:
             parts += f", {self.invalid} corrupt entries discarded"
         return parts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CacheStats({self.render()})"
 
 
 class ShardCache:
@@ -213,12 +266,18 @@ class ShardCache:
             raise
         self.stats.stores += 1
 
+    def reset_stats(self) -> None:
+        """Zero this cache's per-run counters (see :meth:`CacheStats.reset`)."""
+        self.stats.reset()
+
     def stats_line(self) -> str:
         """The runner's end-of-run status line, naming the cache path.
 
-        E.g. ``cache /tmp/shards: 8 hits, 0 misses, 0 stored``.  Printed
-        only when a cache directory is active (the ``--cache-dir`` flag
-        guards the call), so cacheless runs stay clean.
+        E.g. ``cache /tmp/shards: 8 hits, 0 misses, 0 stored``.  The
+        numbers come straight from this cache's metrics registry
+        (:class:`CacheStats` is a view over it).  Printed only when a
+        cache directory is active (the ``--cache-dir`` flag guards the
+        call), so cacheless runs stay clean.
         """
         return f"cache {self.root}: {self.stats.render()}"
 

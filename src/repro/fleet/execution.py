@@ -33,6 +33,8 @@ from typing import Callable, Optional, Sequence, TypeVar
 
 from repro.gameserver.config import ServerProfile
 from repro.gameserver.fluid import FluidSeries
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.sim.random import derive_seed
 from repro.trace.trace import Trace
 
@@ -116,6 +118,26 @@ def shard_map_fold(
     tasks = list(tasks)
     cache = resolve_cache(cache)
     workers = resolve_workers(workers, len(tasks))
+    obs_metrics.registry().counter("fleet.tasks").inc(len(tasks))
+    with obs_trace.span(
+        "fleet.shard_map",
+        worker=f"{fn.__module__}.{fn.__qualname__}",
+        tasks=len(tasks),
+        workers=workers,
+        cached=cache is not None,
+    ):
+        return _shard_map_fold(fn, tasks, fold, initial, workers, cache)
+
+
+def _shard_map_fold(
+    fn: Callable[[T], R],
+    tasks: list,
+    fold: Callable[[A, R], A],
+    initial: A,
+    workers: int,
+    cache: Optional["ShardCache"],
+) -> A:
+    """The fold body of :func:`shard_map_fold` (span-wrapped above)."""
     keys = (
         [cache.task_key(fn, task) for task in tasks]
         if cache is not None
@@ -137,7 +159,8 @@ def shard_map_fold(
     if workers <= 1 or len(tasks) <= 1:
         accumulator = initial
         for index in range(len(tasks)):
-            accumulator = fold(accumulator, compute_through_cache(index))
+            with obs_trace.span("fleet.shard", server=index):
+                accumulator = fold(accumulator, compute_through_cache(index))
         return accumulator
 
     # indexes the pool must compute: everything not already on disk

@@ -36,6 +36,43 @@ import numpy as np
 _LONG_SEGMENT = 128
 
 
+class _FifoCounters:
+    """Dispatch/segment accounting, published into the process metrics
+    registry (``repro.obs``).
+
+    The binding is lazy: ``repro.kernels`` must stay importable with no
+    ``repro.*`` dependencies (the package-level import-cycle pin), so
+    the registry is looked up at the first kernel call, not at import.
+    Counter objects are then cached — registry resets zero them in
+    place — so the hot path pays one integer add per call, and never
+    touches RNG state (bit-identity preserved).
+    """
+
+    __slots__ = (
+        "packets",
+        "fast_path_calls",
+        "scalar_calls",
+        "fast_segments",
+        "scalar_fallback_segments",
+    )
+
+    def __init__(self) -> None:
+        from repro.obs.metrics import registry
+
+        for field in self.__slots__:
+            setattr(self, field, registry().counter(f"kernels.fifo.{field}"))
+
+
+_COUNTERS: Optional[_FifoCounters] = None
+
+
+def _counters() -> _FifoCounters:
+    global _COUNTERS
+    if _COUNTERS is None:
+        _COUNTERS = _FifoCounters()
+    return _COUNTERS
+
+
 @dataclass(frozen=True)
 class FreezePolicy:
     """Starvation coupling between primary-class drops and secondary output.
@@ -98,6 +135,8 @@ def fifo_forward(
     departures = np.full(n, np.nan)
     if n == 0:
         return KernelResult(fates, departures, [])
+    counters = _counters()
+    counters.packets.inc(n)
     if primary_queue < 1 or secondary_queue < 1:
         raise ValueError("queue capacities must be >= 1")
 
@@ -111,9 +150,11 @@ def fifo_forward(
             and bool(np.all(s >= 0.0))
             and bool(np.all(t[1:] >= t[:-1]))
         ):
+            counters.fast_path_calls.inc()
             _vectorized_fifo(t, s, primary_queue, fates, departures)
             return KernelResult(fates, departures, [])
 
+    counters.scalar_calls.inc()
     freeze_windows = _scalar_fifo(
         timestamps,
         service_times,
@@ -335,6 +376,7 @@ def _vectorized_fifo(
         or boundary_busy
         or bool(np.any(np.diff(finishes) < 0.0))
     ):
+        _counters().scalar_fallback_segments.inc(int(starts.size))
         _scalar_span(
             t, s, queue, fates, departures, 0, n, float(t[0]), deque()
         )
@@ -349,16 +391,19 @@ def _vectorized_fifo(
     # can back up at most L - 1 packets, so a buffer at least as deep as
     # the longest busy period can never overflow — skip the scan.
     if int(np.diff(bounds).max()) <= queue:
+        _counters().fast_segments.inc(int(starts.size))
         departures[:] = finishes
         return
     overflow = (
         np.arange(n) - np.searchsorted(finishes, t, side="right") >= queue
     )
     if not overflow.any():
+        _counters().fast_segments.inc(int(starts.size))
         departures[:] = finishes
         return
 
     departures[:] = finishes
+    rerun_segments = 0
     seg_of = np.cumsum(is_start) - 1
     dirty = np.unique(seg_of[overflow])
     processed_until = 0
@@ -372,6 +417,7 @@ def _vectorized_fifo(
         while True:
             departures[a:b] = np.nan
             fates[a:b] = 1
+            rerun_segments += 1
             engine_free, backlog = _scalar_span(
                 t, s, queue, fates, departures, a, b, engine_free, backlog
             )
@@ -389,3 +435,6 @@ def _vectorized_fifo(
             j += 1
             a, b = b, int(bounds[j + 1])
         processed_until = b
+    counters = _counters()
+    counters.scalar_fallback_segments.inc(rerun_segments)
+    counters.fast_segments.inc(max(int(starts.size) - rerun_segments, 0))

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.facility import AdmissionStats, LatencyStats, OccupancyStats
 from repro.fleet.profiles import FleetProfile
 from repro.gameserver.population import SessionRecord
@@ -227,6 +228,41 @@ class MatchmakingSimulator:
     # ------------------------------------------------------------------
     def run(self) -> MatchmakingResult:
         """Advance the pool over every epoch and return the assignments."""
+        with obs.span(
+            "matchmaking.run",
+            policy=self.policy.name,
+            seed=self.seed,
+            servers=self.fleet.n_servers,
+        ):
+            result = self._run()
+        self._publish(result)
+        return result
+
+    def _publish(self, result: MatchmakingResult) -> None:
+        """Passive telemetry over a finished run — counters and artifact
+        series read the result; RNG state is never touched, so traced
+        and untraced runs stay bit-identical."""
+        metrics = obs.registry()
+        admission = result.admission
+        metrics.counter("matchmaking.attempts").inc(admission.attempts)
+        metrics.counter("matchmaking.admitted").inc(admission.admitted)
+        metrics.counter("matchmaking.rejected").inc(admission.rejected)
+        metrics.counter("matchmaking.balked").inc(admission.balked)
+        metrics.counter("matchmaking.retried").inc(admission.retried)
+        metrics.histogram("matchmaking.epoch_occupancy").observe_many(
+            result.occupancy.sum(axis=0).tolist()
+        )
+        session = obs.current_session()
+        if session is not None:
+            session.save_arrays(
+                f"matchmaking_occupancy_{result.policy}",
+                occupancy=result.occupancy,
+                capacities=np.asarray(result.capacities),
+                epoch_length=np.asarray(result.config.epoch_length),
+                seed=np.asarray(result.seed),
+            )
+
+    def _run(self) -> MatchmakingResult:
         config = self.config
         fleet = self.fleet
         policy = self.policy
@@ -259,6 +295,10 @@ class MatchmakingSimulator:
         attempts = admitted = rejected = balked = retried = 0
         repeat_assignments = 0
         next_session_id = 0
+        # per-epoch telemetry: the session (when one is active) receives
+        # one JSONL row per epoch, streamed as the loop advances
+        session = obs.current_session()
+        prev_totals = (0, 0, 0, 0, 0)
 
         def drain_departures(until: float, strict: bool = False) -> None:
             """Finish sessions ending before ``until`` (``<=`` unless strict)."""
@@ -385,6 +425,26 @@ class MatchmakingSimulator:
             # final column
             drain_departures(t1, strict=True)
             occupancy_trace[:, epoch] = occupancy
+
+            if session is not None:
+                totals = (attempts, admitted, rejected, balked, retried)
+                session.stream("matchmaking_epochs").write(
+                    {
+                        "policy": policy.name,
+                        "seed": self.seed,
+                        "epoch": epoch,
+                        "t0": t0,
+                        "t1": t1,
+                        "attempts": totals[0] - prev_totals[0],
+                        "admitted": totals[1] - prev_totals[1],
+                        "rejected": totals[2] - prev_totals[2],
+                        "balked": totals[3] - prev_totals[3],
+                        "retried": totals[4] - prev_totals[4],
+                        "occupancy": int(occupancy.sum()),
+                        "capacity": int(capacities.sum()),
+                    }
+                )
+                prev_totals = totals
 
         return MatchmakingResult(
             fleet=fleet,

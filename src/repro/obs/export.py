@@ -1,0 +1,304 @@
+"""Streaming artifact exporters and the per-run trace session.
+
+Two writer primitives feed an artifact directory *while* a run is in
+progress:
+
+* :class:`JsonlWriter` — one JSON object per line, flushed per record,
+  numpy-aware (``int64``/``float64`` scalars export losslessly — a
+  ``float64`` **is** a JSON double, an ``int64`` fits Python's
+  arbitrary-precision int — pinned by a hypothesis round-trip suite);
+* :class:`NpzColumnWriter` — row-at-a-time columnar accumulation,
+  persisted as a compressed ``.npz`` on close.
+
+:class:`TraceSession` owns one artifact directory per traced run: it
+creates named streams on demand, collects the span tracer, and on
+:meth:`~TraceSession.finish` writes ``spans.jsonl`` plus a
+``manifest.json`` recording the seed/config fingerprint, git revision,
+package/kernel versions, metric totals and the artifact inventory —
+enough to interpret (and reproduce) every file in the directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import IO, Any, Dict, List, Optional
+
+import numpy as np
+
+import repro
+from repro.obs.trace import Tracer
+
+#: Bump on any change to the artifact layout or manifest schema.
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# numpy-aware JSON
+# ----------------------------------------------------------------------
+def to_jsonable(value: Any) -> Any:
+    """``value`` rebuilt from JSON-native types, losslessly for scalars.
+
+    ``np.float64`` → ``float`` is the identity on doubles;
+    ``np.int64`` → ``int`` is exact (Python ints are unbounded); 32-bit
+    and smaller scalars widen exactly.  Arrays become (nested) lists,
+    mappings/sequences recurse.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, Path):
+        return str(value)
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in value]
+    raise TypeError(f"not JSON-exportable: {type(value).__name__}")
+
+
+class NumpyJSONEncoder(json.JSONEncoder):
+    """``json`` encoder accepting numpy scalars and arrays."""
+
+    def default(self, obj: Any) -> Any:
+        try:
+            return to_jsonable(obj)
+        except TypeError:
+            return super().default(obj)
+
+
+def fingerprint(value: Any) -> str:
+    """Stable SHA-256 hex digest of a JSON-able configuration value."""
+    canon = json.dumps(
+        to_jsonable(value), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+def git_revision(cwd: Optional[Path] = None) -> str:
+    """The checkout's HEAD commit, or ``"unknown"`` outside a repo."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=None if cwd is None else str(cwd),
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else "unknown"
+
+
+# ----------------------------------------------------------------------
+# writers
+# ----------------------------------------------------------------------
+class JsonlWriter:
+    """Append JSON records to a ``.jsonl`` file, one per line.
+
+    Each record is flushed immediately, so a killed run leaves every
+    completed line readable — the streaming contract.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        self.rows = 0
+        self._handle: Optional[IO[str]] = open(self.path, "w", encoding="utf-8")
+
+    def write(self, record: Dict[str, Any]) -> None:
+        if self._handle is None:
+            raise ValueError(f"writer for {self.path} is closed")
+        json.dump(
+            record,
+            self._handle,
+            cls=NumpyJSONEncoder,
+            separators=(",", ":"),
+        )
+        self._handle.write("\n")
+        self._handle.flush()
+        self.rows += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def read_jsonl(path) -> List[Dict[str, Any]]:
+    """All records of a ``.jsonl`` artifact (skips a trailing torn line)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                break  # torn tail of a killed run: keep what parsed
+    return records
+
+
+class NpzColumnWriter:
+    """Accumulate homogeneous rows; persist as compressed ``.npz``.
+
+    The first :meth:`append` fixes the column set; later rows must match
+    it exactly, so the resulting arrays are rectangular by construction.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        self.rows = 0
+        self._columns: Optional[Dict[str, list]] = None
+        self._closed = False
+
+    def append(self, **fields: Any) -> None:
+        if self._closed:
+            raise ValueError(f"writer for {self.path} is closed")
+        if self._columns is None:
+            self._columns = {name: [] for name in fields}
+        elif set(fields) != set(self._columns):
+            raise ValueError(
+                f"row columns {sorted(fields)} != schema "
+                f"{sorted(self._columns)}"
+            )
+        for name, value in fields.items():
+            self._columns[name].append(value)
+        self.rows += 1
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        columns = self._columns or {}
+        np.savez_compressed(
+            self.path,
+            **{name: np.asarray(values) for name, values in columns.items()},
+        )
+
+
+# ----------------------------------------------------------------------
+# the per-run session
+# ----------------------------------------------------------------------
+class TraceSession:
+    """One traced run: an artifact directory, a tracer, named streams.
+
+    Instrumented layers look the session up via
+    :func:`repro.obs.current_session` and attach rows to named streams;
+    nothing is written unless a session is active.  ``finish()`` closes
+    every stream, dumps the span forest, and writes the manifest.
+    """
+
+    def __init__(self, root, info: Optional[Dict[str, Any]] = None) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.tracer = Tracer()
+        self.info = dict(info or {})
+        self._streams: Dict[str, JsonlWriter] = {}
+        self._columns: Dict[str, NpzColumnWriter] = {}
+        self._arrays: List[str] = []
+        self._started_unix = time.time()
+        self._t0 = time.perf_counter()
+        self._finished = False
+
+    def stream(self, name: str) -> JsonlWriter:
+        """The named ``.jsonl`` stream (created on first use)."""
+        writer = self._streams.get(name)
+        if writer is None:
+            writer = self._streams[name] = JsonlWriter(
+                self.root / f"{name}.jsonl"
+            )
+        return writer
+
+    def columns(self, name: str) -> NpzColumnWriter:
+        """The named columnar ``.npz`` writer (created on first use)."""
+        writer = self._columns.get(name)
+        if writer is None:
+            writer = self._columns[name] = NpzColumnWriter(
+                self.root / f"{name}.npz"
+            )
+        return writer
+
+    def save_arrays(self, base: str, **arrays: Any) -> Path:
+        """Write named arrays to ``<base>.npz`` (suffixing duplicates)."""
+        name, k = base, 0
+        while name in self._arrays:
+            k += 1
+            name = f"{base}-{k}"
+        self._arrays.append(name)
+        path = self.root / f"{name}.npz"
+        np.savez_compressed(
+            path, **{key: np.asarray(value) for key, value in arrays.items()}
+        )
+        return path
+
+    def artifact_inventory(self) -> Dict[str, Dict[str, Any]]:
+        """Name → {kind, rows} for everything this session produced."""
+        inventory: Dict[str, Dict[str, Any]] = {}
+        for name, writer in self._streams.items():
+            inventory[f"{name}.jsonl"] = {"kind": "jsonl", "rows": writer.rows}
+        for name, writer in self._columns.items():
+            inventory[f"{name}.npz"] = {"kind": "columnar", "rows": writer.rows}
+        for name in self._arrays:
+            inventory[f"{name}.npz"] = {"kind": "arrays"}
+        return inventory
+
+    def finish(
+        self, metrics: Optional[Dict[str, Any]] = None
+    ) -> Path:
+        """Close all writers, dump spans, write and return the manifest."""
+        if self._finished:
+            return self.root / "manifest.json"
+        self._finished = True
+        spans = JsonlWriter(self.root / "spans.jsonl")
+        for record in self.tracer.records():
+            spans.write(record)
+        spans.close()
+        for writer in self._streams.values():
+            writer.close()
+        for writer in self._columns.values():
+            writer.close()
+        from repro.kernels import KERNEL_VERSION
+
+        manifest = {
+            "schema": ARTIFACT_SCHEMA_VERSION,
+            "repro_version": repro.__version__,
+            "kernel_version": KERNEL_VERSION,
+            "git_rev": git_revision(),
+            "started_unix": self._started_unix,
+            "duration_s": time.perf_counter() - self._t0,
+            **{key: to_jsonable(value) for key, value in self.info.items()},
+            "artifacts": {
+                "spans.jsonl": {"kind": "jsonl", "rows": spans.rows},
+                **self.artifact_inventory(),
+            },
+            "metrics": to_jsonable(metrics or {}),
+        }
+        path = self.root / "manifest.json"
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, cls=NumpyJSONEncoder, indent=2)
+            handle.write("\n")
+        return path
+
+
+def load_manifest(root) -> Dict[str, Any]:
+    """Parse ``manifest.json`` from an artifact directory."""
+    with open(Path(root) / "manifest.json", "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -313,3 +313,99 @@ class TestExperimentsList:
         assert runner.main(["--list", "table1"]) == 0
         out = capsys.readouterr().out
         assert "reproduced within tolerance" not in out
+
+
+class TestExperimentsTraceDirValidation:
+    # --trace-dir shares _writable_directory with --cache-dir, so the
+    # same misuse fails the same way: at argument parsing, exit code 2.
+    def test_nonexistent_parent_is_a_clean_argparse_error(self, tmp_path, capsys):
+        bogus = str(tmp_path / "missing" / "trace")
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["--trace-dir", bogus, "table1"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--trace-dir" in err
+        assert "does not exist" in err
+        assert "Traceback" not in err
+
+    def test_existing_file_rejected(self, tmp_path, capsys):
+        not_a_dir = tmp_path / "manifest.json"
+        not_a_dir.write_bytes(b"x")
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["--trace-dir", str(not_a_dir), "table1"])
+        assert excinfo.value.code == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_unwritable_path_rejected(self, tmp_path, monkeypatch, capsys):
+        target = tmp_path / "trace"
+        target.mkdir()
+        monkeypatch.setattr(runner.os, "access", lambda path, mode: False)
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["--trace-dir", str(target), "table1"])
+        assert excinfo.value.code == 2
+        assert "not writable" in capsys.readouterr().err
+
+    def test_unwritable_parent_rejected(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(runner.os, "access", lambda path, mode: False)
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["--trace-dir", str(tmp_path / "trace"), "table1"])
+        assert excinfo.value.code == 2
+        assert "is not writable" in capsys.readouterr().err
+
+    def test_creatable_path_accepted(self, tmp_path):
+        assert runner._trace_dir(str(tmp_path / "trace")) == str(
+            tmp_path / "trace"
+        )
+
+
+class TestExperimentsTraceDir:
+    def test_matchmaking_trace_produces_manifest_and_streams(
+        self, tmp_path, capsys
+    ):
+        from repro.obs import current_session
+        from repro.obs.export import load_manifest, read_jsonl
+
+        trace_dir = tmp_path / "trace"
+        code = runner.main(
+            ["matchmaking", "--policy", "least_loaded",
+             "--trace-dir", str(trace_dir)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"trace {trace_dir}: manifest at" in out
+
+        manifest = load_manifest(trace_dir)
+        assert manifest["seed"] == 0
+        assert manifest["experiments"] == ["matchmaking"]
+        assert manifest["config_fingerprint"]
+        assert manifest["metrics"]["matchmaking.attempts"] > 0
+        # the manifest inventories at least two streaming artifacts
+        # beyond itself (per-epoch JSONL + occupancy arrays + spans)
+        assert len(manifest["artifacts"]) >= 2
+        for name in manifest["artifacts"]:
+            assert (trace_dir / name).is_file()
+
+        epochs = read_jsonl(trace_dir / "matchmaking_epochs.jsonl")
+        assert epochs, "per-epoch stream must not be empty"
+        assert epochs[0]["policy"] == "least_loaded"
+        assert all(row["epoch"] == i for i, row in enumerate(epochs))
+        # admissions streamed per epoch must sum to the run totals
+        assert (
+            sum(row["admitted"] for row in epochs)
+            == manifest["metrics"]["matchmaking.admitted"]
+        )
+        spans = read_jsonl(trace_dir / "spans.jsonl")
+        assert any(s["name"] == "matchmaking.run" for s in spans)
+        assert all(s["wall_s"] >= 0 for s in spans)
+
+    def test_session_is_closed_after_run(self, tmp_path):
+        from repro.obs import current_session
+
+        runner.main(
+            ["table1", "--trace-dir", str(tmp_path / "trace")]
+        )
+        assert current_session() is None
+
+    def test_no_trace_line_without_flag(self, capsys):
+        assert runner.main(["table1"]) == 0
+        assert "manifest at" not in capsys.readouterr().out

@@ -288,3 +288,84 @@ class TestFacilityIntegration:
         )
         assert cache.stats.hits == 2
         np.testing.assert_array_equal(first.timestamps, second.timestamps)
+
+
+class TestCacheStatsAccounting:
+    """Per-run scoping and process-wide mirroring of cache counters."""
+
+    def test_snapshot_is_a_plain_dict(self, tmp_path):
+        from repro.fleet.cache import ShardCache
+
+        cache = ShardCache(tmp_path)
+        cache.stats.hits += 2
+        cache.stats.misses += 1
+        assert cache.stats.snapshot() == {
+            "hits": 2,
+            "misses": 1,
+            "stores": 0,
+            "invalid": 0,
+        }
+
+    def test_reset_scopes_stats_per_run(self, tmp_path):
+        # the bug this pins: a long-lived cache used to accumulate
+        # counters forever, so the second run's stats_line lied
+        from repro.fleet.cache import ShardCache
+        from repro.fleet.execution import shard_map
+
+        cache = ShardCache(tmp_path)
+        tasks = [SquareTask(float(i)) for i in range(3)]
+        shard_map(evaluate_square, tasks, workers=1, cache=cache)  # cold
+        assert cache.stats.snapshot()["misses"] == 3
+
+        cache.reset_stats()
+        assert cache.stats.snapshot() == {
+            "hits": 0,
+            "misses": 0,
+            "stores": 0,
+            "invalid": 0,
+        }
+
+        shard_map(evaluate_square, tasks, workers=1, cache=cache)  # warm
+        assert cache.stats.snapshot() == {
+            "hits": 3,
+            "misses": 0,
+            "stores": 0,
+            "invalid": 0,
+        }
+
+    def test_negative_adjustment_rejected(self, tmp_path):
+        from repro.fleet.cache import ShardCache
+
+        cache = ShardCache(tmp_path)
+        cache.stats.hits += 2
+        with pytest.raises(ValueError):
+            cache.stats.hits -= 1
+
+    def test_increments_mirror_into_process_registry(self, tmp_path):
+        from repro.fleet.cache import ShardCache
+        from repro.obs.metrics import registry, reset_metrics
+
+        reset_metrics()
+        cache_a = ShardCache(tmp_path / "a")
+        cache_b = ShardCache(tmp_path / "b")
+        cache_a.stats.hits += 2
+        cache_b.stats.hits += 3
+        # per-cache scoping stays separate ...
+        assert cache_a.stats.hits == 2
+        assert cache_b.stats.hits == 3
+        # ... while the process registry aggregates across caches
+        assert registry().counter("shard_cache.hits").value == 5
+        # per-cache reset never rolls back the process-wide totals
+        cache_a.reset_stats()
+        assert registry().counter("shard_cache.hits").value == 5
+
+    def test_stats_line_reflects_current_window_only(self, tmp_path):
+        from repro.fleet.cache import ShardCache
+
+        cache = ShardCache(tmp_path)
+        cache.stats.misses += 3
+        cache.stats.stores += 3
+        assert "0 hits, 3 misses, 3 stored" in cache.stats_line()
+        cache.reset_stats()
+        cache.stats.hits += 3
+        assert "3 hits, 0 misses, 0 stored" in cache.stats_line()

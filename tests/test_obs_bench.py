@@ -1,0 +1,52 @@
+"""Tests for the perf-trajectory recorder (repro.obs.bench)."""
+
+import json
+
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    append_bench_record,
+    collect_perf_record,
+    emit_bench_record,
+    load_trajectory,
+)
+
+
+class TestAppendBenchRecord:
+    def test_creates_then_appends(self, tmp_path):
+        path = tmp_path / "BENCH_obs_test.json"
+        append_bench_record(path, {"kernel_pps": 1.0})
+        append_bench_record(path, {"kernel_pps": 2.0})
+        trajectory = load_trajectory(path)
+        assert trajectory["schema"] == BENCH_SCHEMA_VERSION
+        assert [r["kernel_pps"] for r in trajectory["records"]] == [1.0, 2.0]
+
+    def test_corrupt_file_restarts_cleanly(self, tmp_path):
+        path = tmp_path / "BENCH_obs_test.json"
+        path.write_text("{not json", encoding="utf-8")
+        append_bench_record(path, {"kernel_pps": 3.0})
+        assert len(load_trajectory(path)["records"]) == 1
+
+    def test_file_ends_with_newline(self, tmp_path):
+        # append-only files that CI diffs/uploads should be POSIX-clean
+        path = tmp_path / "BENCH_obs_test.json"
+        append_bench_record(path, {})
+        assert path.read_text(encoding="utf-8").endswith("\n")
+
+
+class TestCollectPerfRecord:
+    def test_record_has_throughput_and_provenance(self):
+        record = collect_perf_record()
+        assert record["kernel_pps"] > 0
+        assert 0.0 <= record["cache_hit_rate_warm"] <= 1.0
+        assert record["cache_hit_rate_warm"] == 1.0  # warm pass: all hits
+        assert record["matchmaking_players_per_s"] > 0
+        for key in ("git_rev", "repro_version", "kernel_version", "python"):
+            assert record[key]
+        json.dumps(record)  # the record itself must be JSON-safe
+
+    def test_emit_writes_named_file(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("BENCH_RUNNER", "unit")
+        path = emit_bench_record()
+        assert path.name == "BENCH_obs_unit.json"
+        assert len(load_trajectory(path)["records"]) == 1

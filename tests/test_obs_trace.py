@@ -1,0 +1,102 @@
+"""Tests for the span tracer (repro.obs.trace)."""
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    peak_rss_kb,
+    span,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    """Every test starts and ends with tracing disabled."""
+    install_tracer(None)
+    yield
+    install_tracer(None)
+
+
+class TestDisabledDefault:
+    def test_span_is_the_shared_noop(self):
+        assert current_tracer() is None
+        assert span("anything", attr=1) is NULL_SPAN
+        # same object every time: no allocation on the disabled path
+        assert span("other") is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with span("region") as sp:
+            sp.add("packets", 10)  # discarded, must not raise
+
+
+class TestTracer:
+    def test_nesting_builds_a_forest(self):
+        tracer = Tracer()
+        install_tracer(tracer)
+        with span("outer", kind="a"):
+            with span("inner") as sp:
+                sp.add("items", 2)
+                sp.add("items", 3)
+        with span("second_root"):
+            pass
+        records = tracer.records()
+        assert [r["name"] for r in records] == [
+            "outer",
+            "inner",
+            "second_root",
+        ]
+        outer, inner, second = records
+        assert outer["depth"] == 0 and inner["depth"] == 1
+        assert inner["path"] == "outer/inner"
+        assert inner["counters"] == {"items": 5}
+        assert outer["attrs"] == {"kind": "a"}
+        assert second["path"] == "second_root"
+
+    def test_records_exclude_open_spans(self):
+        tracer = Tracer()
+        install_tracer(tracer)
+        with span("closed"):
+            pass
+        open_span = span("open")
+        open_span.__enter__()
+        assert [r["name"] for r in tracer.records()] == ["closed"]
+        open_span.__exit__(None, None, None)
+        assert [r["name"] for r in tracer.records()] == ["closed", "open"]
+
+    def test_timings_are_nonnegative_and_ordered(self):
+        tracer = Tracer()
+        install_tracer(tracer)
+        with span("a"):
+            pass
+        with span("b"):
+            pass
+        a, b = tracer.records()
+        assert a["wall_s"] >= 0 and b["wall_s"] >= 0
+        assert b["start_s"] >= a["start_s"] >= 0
+
+    def test_exceptions_propagate_and_close_the_span(self):
+        tracer = Tracer()
+        install_tracer(tracer)
+        with pytest.raises(RuntimeError):
+            with span("failing"):
+                raise RuntimeError("boom")
+        assert [r["name"] for r in tracer.records()] == ["failing"]
+
+    def test_records_are_json_safe(self):
+        import json
+
+        tracer = Tracer()
+        install_tracer(tracer)
+        with span("region", server=3, label="x") as sp:
+            sp.add("n", 1.5)
+        json.dumps(tracer.records())  # must not raise
+
+
+class TestPeakRss:
+    def test_monotone_nonnegative(self):
+        first = peak_rss_kb()
+        assert first >= 0
+        assert peak_rss_kb() >= first
