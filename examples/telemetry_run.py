@@ -3,10 +3,16 @@
 
 Runs the closed-loop matchmaking experiment inside a trace session
 (exactly what ``repro-experiments --trace-dir`` does), then loads the
-artifact directory and prints what an operator would want from a run
-they did not watch: the per-stage wall-time breakdown from the span
-records, the cache hit rate from the metric totals, and the streamed
-per-epoch admission series.
+artifact directory through :mod:`repro.obs.analysis` and prints what an
+operator would want from a run they did not watch: the reconstructed
+span forest with its per-phase rollup and critical path (including the
+worker-task spans shipped back from sharded subprocesses), the metric
+totals cross-checked against what the artifacts alone can re-derive,
+and the occupancy picture folded by region.
+
+Everything printed here is also available as ``repro-analyze
+summary|spans|heatmap DIR``; this example shows the library API those
+subcommands are built on.
 
 Usage::
 
@@ -20,7 +26,7 @@ import tempfile
 
 from repro import obs
 from repro.experiments.runner import run_experiments
-from repro.obs.export import load_manifest, read_jsonl
+from repro.obs import analysis
 
 
 def traced_run(trace_dir: str) -> None:
@@ -39,78 +45,96 @@ def traced_run(trace_dir: str) -> None:
     print()
 
 
-def wall_time_breakdown(trace_dir: str) -> None:
-    """Aggregate span records into a per-stage wall-time table."""
-    spans = read_jsonl(f"{trace_dir}/spans.jsonl")
-    by_name = {}
-    for record in spans:
-        calls, wall = by_name.get(record["name"], (0, 0.0))
-        by_name[record["name"]] = (calls + 1, wall + record["wall_s"])
-    total = sum(r["wall_s"] for r in spans if r["depth"] == 0)
-    print("per-stage wall time (from spans.jsonl):")
-    for name, (calls, wall) in sorted(
-        by_name.items(), key=lambda item: -item[1][1]
-    ):
-        share = 100.0 * wall / total if total else 0.0
-        print(f"  {name:<24} {calls:>4} calls  {wall:8.3f} s  {share:5.1f}%")
+def span_forest(run: analysis.TraceRun) -> None:
+    """The reconstructed forest: rollup, workers, critical path."""
+    forest = run.forest
+    print(f"span forest: {len(forest)} spans, {len(forest.roots)} roots")
+
+    print("per-phase wall time:")
+    for rollup in forest.rollup()[:8]:
+        print(
+            f"  {rollup.name:<26} {rollup.calls:>4} calls  "
+            f"{rollup.total_wall_s:8.3f} s total  "
+            f"{rollup.self_wall_s:8.3f} s self  {rollup.share:5.1%}"
+        )
+
+    workers = forest.worker_nodes()
+    if workers:
+        pids = sorted({node.worker_pid for node in workers})
+        print(
+            f"sharded work: {len(workers)} worker tasks in "
+            f"{len(pids)} subprocesses — their spans were shipped back "
+            "on the task futures and absorbed into this forest"
+        )
+
+    print("critical path (the spans to optimise first):")
+    for node in forest.critical_path():
+        where = (
+            f"  [worker {node.worker_pid}]"
+            if node.worker_pid is not None
+            else ""
+        )
+        print(f"  {'  ' * node.depth}{node.name}  {node.wall_s:.3f} s{where}")
     print()
 
 
-def metric_totals(trace_dir: str) -> None:
-    """Headline counters from the manifest's metric snapshot."""
-    manifest = load_manifest(trace_dir)
-    metrics = manifest["metrics"]
-    print(f"run manifest (schema {manifest['schema']}):")
-    print(f"  seed {manifest['seed']}, git {manifest['git_rev'][:12]}, "
-          f"config {manifest['config_fingerprint'][:12]}")
-    print(f"  duration {manifest['duration_s']:.2f} s, "
-          f"{len(manifest['artifacts'])} artifacts")
+def metric_self_check(run: analysis.TraceRun) -> None:
+    """Totals the artifacts can re-derive, checked against the manifest."""
+    print(f"manifest metric totals ({len(run.metric_totals)}):")
+    for name, value in sorted(run.metric_totals.items()):
+        if isinstance(value, dict):  # histogram summary
+            value = f"count={value['count']} mean={value['mean']:g}"
+        print(f"  {name:<36} {value}")
 
-    hits = metrics.get("shard_cache.hits", 0)
-    misses = metrics.get("shard_cache.misses", 0)
-    served = hits + misses
-    if served:
-        print(f"  shard cache: {hits}/{served} served from disk "
-              f"({100.0 * hits / served:.1f}% hit rate)")
-    else:
-        print("  shard cache: unused (no --cache-dir)")
-
-    packets = metrics.get("kernels.fifo.packets", 0)
-    fast = metrics.get("kernels.fifo.fast_segments", 0)
-    fallback = metrics.get("kernels.fifo.scalar_fallback_segments", 0)
-    if fast + fallback:
-        print(f"  fifo kernel: {packets:,} packets, "
-              f"{fast:,} fast segments, {fallback:,} scalar fallbacks")
+    rows = analysis.verify_metric_totals(run)
+    bad = [row for row in rows if not row[3]]
+    print(
+        f"re-derived from artifacts alone: {len(rows) - len(bad)}/{len(rows)}"
+        " totals match the manifest"
+        + (f" — MISMATCHES: {bad}" if bad else "")
+    )
     print()
 
 
-def epoch_series(trace_dir: str) -> None:
-    """The streamed per-epoch admission series, policy by policy."""
-    epochs = read_jsonl(f"{trace_dir}/matchmaking_epochs.jsonl")
-    policies = sorted({row["policy"] for row in epochs})
-    print(f"streamed epochs: {len(epochs)} rows, {len(policies)} policies")
-    for policy in policies:
-        rows = [row for row in epochs if row["policy"] == policy]
-        admitted = sum(row["admitted"] for row in rows)
-        balked = sum(row["balked"] for row in rows)
-        peak = max(row["occupancy"] for row in rows)
-        print(f"  {policy:>16}: {admitted:>4} admitted, {balked:>4} balked, "
-              f"peak occupancy {peak}/{rows[-1]['capacity']}")
+def occupancy_by_region(run: analysis.TraceRun) -> None:
+    """Occupancy folded by server home region, policy by policy."""
+    for policy, heatmap in sorted(analysis.occupancy_heatmaps(run).items()):
+        utilization = heatmap.utilization()
+        print(
+            f"{policy}: {heatmap.n_epochs} epochs × "
+            f"{heatmap.epoch_length:.0f} s, mean utilization by region:"
+        )
+        for region, name in enumerate(heatmap.region_names):
+            if heatmap.capacities[region] == 0:
+                continue
+            print(
+                f"  {name:<12} {float(utilization[region].mean()):6.1%} "
+                f"(cap {int(heatmap.capacities[region])})"
+            )
+    for point in analysis.occupancy_rtt_frontier(run):
+        print(
+            f"  frontier: {point.policy} at {point.utilization:.1%} "
+            f"utilization, {point.mean_rtt_ms:.1f} ms mean session RTT "
+            f"({point.sessions} sessions)"
+        )
+
+
+def report(trace_dir: str) -> None:
+    run = analysis.load_run(trace_dir)
+    span_forest(run)
+    metric_self_check(run)
+    occupancy_by_region(run)
 
 
 def main() -> None:
     if len(sys.argv) > 1:
         trace_dir = sys.argv[1]
         traced_run(trace_dir)
-        wall_time_breakdown(trace_dir)
-        metric_totals(trace_dir)
-        epoch_series(trace_dir)
+        report(trace_dir)
         return
     with tempfile.TemporaryDirectory(prefix="telemetry-run-") as trace_dir:
         traced_run(trace_dir)
-        wall_time_breakdown(trace_dir)
-        metric_totals(trace_dir)
-        epoch_series(trace_dir)
+        report(trace_dir)
 
 
 if __name__ == "__main__":

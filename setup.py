@@ -22,6 +22,7 @@ setup(
     install_requires=["numpy"],
     entry_points={
         "console_scripts": [
+            "repro-analyze=repro.cli:analyze_main",
             "repro-experiments=repro.experiments.runner:main",
             "repro-simulate=repro.cli:main",
         ]

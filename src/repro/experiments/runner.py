@@ -281,6 +281,7 @@ def main(argv: List[str] = None) -> int:
         matchmaking.set_default_beta(args.beta)
 
     manifest_path = None
+    trace_session = None
     try:
         ids = args.experiments or list(REGISTRY)
         if args.trace_dir is not None:
@@ -319,7 +320,8 @@ def main(argv: List[str] = None) -> int:
         if args.trace_dir is not None:
             from repro import obs
 
-            if obs.current_session() is not None:
+            trace_session = obs.current_session()
+            if trace_session is not None:
                 manifest_path = obs.end_trace_session()
         if cache is not None:
             set_default_cache(None)
@@ -344,6 +346,7 @@ def main(argv: List[str] = None) -> int:
         print(cache.stats_line())
     if manifest_path is not None:
         print(f"trace {args.trace_dir}: manifest at {manifest_path}")
+        print(trace_session.rollup_line())
     return 1 if failures else 0
 
 

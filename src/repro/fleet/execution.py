@@ -22,6 +22,19 @@ skew.
 
 Worker payloads are module-level functions on picklable task tuples, so
 the same code path runs under fork and spawn start methods.
+
+When a trace session is active in the parent
+(:func:`repro.obs.current_session`), submitted tasks run under a
+lightweight per-worker tracer: the worker resets its (subprocess-local)
+metrics registry, wraps the task in a ``fleet.worker_task`` span, and
+ships the resulting span records plus metric deltas back *on the same
+future* as the result — no extra IPC.  The parent absorbs the span
+records into the session tracer with ``worker_pid``/``task_index``
+attribution and folds the metric deltas into the process registry, so
+manifest totals cover sharded work and match the ``--workers 1`` run
+(worker-side metrics are integer counters; see
+``tests/test_obs_workers.py``).  Without a session nothing is wrapped —
+the untraced hot path is unchanged.
 """
 
 from __future__ import annotations
@@ -84,6 +97,57 @@ def resolve_workers(workers: Optional[int], n_tasks: int) -> int:
 def fleet_server_seed(fleet_seed: int, index: int) -> int:
     """Master seed of server ``index`` — a pure function of (seed, index)."""
     return derive_seed(fleet_seed, f"fleet-server:{index}")
+
+
+# ----------------------------------------------------------------------
+# worker-side telemetry (piggybacked on the task future)
+# ----------------------------------------------------------------------
+def _traced_call(fn, task, index: int, epoch_s: float):
+    """Run ``fn(task)`` in a worker under a fresh tracer; ship telemetry.
+
+    Returns ``(result, telemetry)`` where ``telemetry`` carries the
+    worker's span records (clocked against the parent session's
+    ``epoch_s`` — ``perf_counter`` is system-wide on the platforms we
+    run on, so worker spans land on the parent timeline) and the metric
+    deltas this one task produced.  The worker registry is reset first:
+    pool processes are reused across tasks, and under ``fork`` they
+    inherit the parent's accumulated values, so only a zeroed registry
+    makes the post-task state equal the per-task delta.
+    """
+    registry = obs_metrics.registry()
+    registry.reset()
+    tracer = obs_trace.Tracer()
+    tracer.epoch_s = epoch_s
+    obs_trace.install_tracer(tracer)
+    try:
+        with tracer.span("fleet.worker_task", task_index=index):
+            result = fn(task)
+    finally:
+        obs_trace.install_tracer(None)
+    records = tracer.records()
+    deltas = registry.dump_state()
+    if records:
+        # per-task metric deltas ride on the root worker span, so the
+        # read side can re-derive sharded metric totals from spans.jsonl
+        records[0]["metrics"] = deltas
+    return result, {
+        "worker_pid": os.getpid(),
+        "task_index": index,
+        "spans": records,
+        "metrics": deltas,
+    }
+
+
+def _merge_worker_telemetry(telemetry) -> None:
+    """Absorb one task's shipped telemetry into the parent session."""
+    tracer = obs_trace.current_tracer()
+    if tracer is not None:
+        tracer.absorb(
+            telemetry["spans"],
+            worker_pid=telemetry["worker_pid"],
+            task_index=telemetry["task_index"],
+        )
+    obs_metrics.registry().merge_state(telemetry["metrics"])
 
 
 # ----------------------------------------------------------------------
@@ -179,6 +243,10 @@ def _shard_map_fold(
             1 for index in miss_indexes if keys[index] is not None
         )
 
+    # when the parent is tracing, wrap each submitted task so the worker
+    # ships its span records + metric deltas back with the result
+    tracer = obs_trace.current_tracer()
+
     accumulator = initial
     next_index = 0
     submit_cursor = 0
@@ -198,7 +266,12 @@ def _shard_map_fold(
                 and len(pending) + len(out_of_order) < max_in_flight
             ):
                 index = miss_indexes[submit_cursor]
-                future = pool.submit(fn, tasks[index])
+                if tracer is not None:
+                    future = pool.submit(
+                        _traced_call, fn, tasks[index], index, tracer.epoch_s
+                    )
+                else:
+                    future = pool.submit(fn, tasks[index])
                 index_of[future] = index
                 pending.add(future)
                 submit_cursor += 1
@@ -209,6 +282,12 @@ def _shard_map_fold(
             while next_index < len(tasks):
                 if next_index in out_of_order:
                     value = out_of_order.pop(next_index)
+                    if tracer is not None:
+                        # telemetry merges strictly in task-index order,
+                        # so absorbed spans and metric folds are
+                        # deterministic regardless of completion order
+                        value, telemetry = value
+                        _merge_worker_telemetry(telemetry)
                     if keys[next_index] is not None:
                         cache.store(keys[next_index], value)
                 elif next_index in cached_indexes:

@@ -254,12 +254,28 @@ class MatchmakingSimulator:
         )
         session = obs.current_session()
         if session is not None:
+            # region geometry and per-server session RTTs ride along so
+            # the read side (repro.obs.analysis) can rebuild occupancy ×
+            # region × epoch heatmaps and the occupancy–RTT frontier
+            # from the artifact directory alone
+            mean_rtt = np.asarray(
+                [
+                    float(np.mean(rtts)) if rtts.size else np.nan
+                    for rtts in result.session_rtts
+                ]
+            )
             session.save_arrays(
                 f"matchmaking_occupancy_{result.policy}",
                 occupancy=result.occupancy,
                 capacities=np.asarray(result.capacities),
                 epoch_length=np.asarray(result.config.epoch_length),
                 seed=np.asarray(result.seed),
+                server_regions=self.rtt.server_regions,
+                region_names=np.asarray(self.rtt.region_names),
+                mean_session_rtt_ms=mean_rtt,
+                session_counts=np.asarray(
+                    [rtts.size for rtts in result.session_rtts]
+                ),
             )
 
     def _run(self) -> MatchmakingResult:

@@ -11,7 +11,13 @@ Three layers, each usable alone:
 * :mod:`repro.obs.export` — streaming JSON-lines and columnar ``.npz``
   exporters plus the per-run :class:`~repro.obs.export.TraceSession`
   (artifact directory + manifest), and :mod:`repro.obs.bench`'s
-  ``BENCH_obs_*.json`` perf-trajectory records.
+  ``BENCH_obs_*.json`` perf-trajectory records;
+* :mod:`repro.obs.analysis` — the read side: load a finished (or
+  killed) trace directory into typed run objects, rebuild the span
+  forest (including worker-task records shipped back from sharded
+  subprocesses), roll up phases, extract the critical path, fold
+  occupancy × region × epoch heatmaps and the occupancy–RTT frontier
+  from artifacts, and compare runs (``repro-analyze``).
 
 The load-bearing invariant: **telemetry is provably non-invasive**.
 Observers read results and clocks but never touch RNG state, so every
@@ -60,6 +66,8 @@ from repro.obs.trace import (
     install_tracer,
     span,
 )
+from repro.obs import analysis
+from repro.obs.analysis import SpanForest, TraceRun, compare, load_run
 
 __all__ = [
     "Counter",
@@ -70,9 +78,14 @@ __all__ = [
     "NpzColumnWriter",
     "NULL_SPAN",
     "Span",
+    "SpanForest",
+    "TraceRun",
     "Tracer",
     "TraceSession",
+    "analysis",
+    "compare",
     "current_session",
+    "load_run",
     "current_tracer",
     "end_trace_session",
     "fingerprint",

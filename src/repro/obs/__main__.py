@@ -1,0 +1,8 @@
+"""``python -m repro.obs`` — the ``repro-analyze`` CLI without an
+install (used by CI, which runs from a checkout via ``PYTHONPATH``)."""
+
+import sys
+
+from repro.cli import analyze_main
+
+sys.exit(analyze_main())

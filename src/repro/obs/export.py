@@ -33,7 +33,10 @@ import repro
 from repro.obs.trace import Tracer
 
 #: Bump on any change to the artifact layout or manifest schema.
-ARTIFACT_SCHEMA_VERSION = 1
+#: v2: span records carry ``id``/``parent`` links, and sharded runs
+#: append worker-task records with ``worker_pid``/``task_index``
+#: attribution and per-task ``metrics`` deltas.
+ARTIFACT_SCHEMA_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -217,6 +220,8 @@ class TraceSession:
         self._started_unix = time.time()
         self._t0 = time.perf_counter()
         self._finished = False
+        #: One-line end-of-run figures, filled by :meth:`finish`.
+        self.rollup: Dict[str, Any] = {}
 
     def stream(self, name: str) -> JsonlWriter:
         """The named ``.jsonl`` stream (created on first use)."""
@@ -267,8 +272,9 @@ class TraceSession:
         if self._finished:
             return self.root / "manifest.json"
         self._finished = True
+        records = self.tracer.records()
         spans = JsonlWriter(self.root / "spans.jsonl")
-        for record in self.tracer.records():
+        for record in records:
             spans.write(record)
         spans.close()
         for writer in self._streams.values():
@@ -276,6 +282,24 @@ class TraceSession:
         for writer in self._columns.values():
             writer.close()
         from repro.kernels import KERNEL_VERSION
+        from repro.obs.trace import peak_rss_kb
+
+        metrics = to_jsonable(metrics or {})
+        duration_s = time.perf_counter() - self._t0
+        hits = metrics.get("shard_cache.hits", 0)
+        misses = metrics.get("shard_cache.misses", 0)
+        self.rollup = {
+            "duration_s": duration_s,
+            "span_count": spans.rows,
+            # the parent's high-water mark; worker spans may report
+            # their own (lower-lifetime) subprocess peaks
+            "peak_rss_kb": max(
+                [peak_rss_kb()]
+                + [r.get("peak_rss_kb", 0.0) for r in records]
+            ),
+            "cache_hits": hits,
+            "cache_lookups": hits + misses,
+        }
 
         manifest = {
             "schema": ARTIFACT_SCHEMA_VERSION,
@@ -283,19 +307,37 @@ class TraceSession:
             "kernel_version": KERNEL_VERSION,
             "git_rev": git_revision(),
             "started_unix": self._started_unix,
-            "duration_s": time.perf_counter() - self._t0,
+            "duration_s": duration_s,
             **{key: to_jsonable(value) for key, value in self.info.items()},
             "artifacts": {
                 "spans.jsonl": {"kind": "jsonl", "rows": spans.rows},
                 **self.artifact_inventory(),
             },
-            "metrics": to_jsonable(metrics or {}),
+            "metrics": metrics,
         }
         path = self.root / "manifest.json"
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(manifest, handle, cls=NumpyJSONEncoder, indent=2)
             handle.write("\n")
         return path
+
+    def rollup_line(self) -> str:
+        """The one-line end-of-run summary (valid after :meth:`finish`)."""
+        r = self.rollup
+        if not r:
+            return "trace rollup: (session not finished)"
+        if r["cache_lookups"]:
+            cache = (
+                f"cache {r['cache_hits']}/{r['cache_lookups']} hits "
+                f"({100.0 * r['cache_hits'] / r['cache_lookups']:.1f}%)"
+            )
+        else:
+            cache = "cache unused"
+        return (
+            f"trace rollup: {r['duration_s']:.2f} s wall | "
+            f"peak rss {r['peak_rss_kb'] / 1024.0:.1f} MiB | "
+            f"{r['span_count']} spans | {cache}"
+        )
 
 
 def load_manifest(root) -> Dict[str, Any]:

@@ -99,6 +99,24 @@ class Histogram:
         for value in values:
             self.observe(value)
 
+    def merge(self, count: int, total: float, min_: float, max_: float) -> None:
+        """Fold another histogram's summary state into this one.
+
+        Used when a worker subprocess ships its per-task histogram state
+        back to the parent: count/total add, min/max combine — the same
+        totals a serial run accumulates observation by observation
+        (float ``total`` merges per-task subtotals, so the last ulp may
+        differ from the serial order when tasks interleave).
+        """
+        if count <= 0:
+            return
+        self.count += int(count)
+        self.total += float(total)
+        if min_ < self.min:
+            self.min = float(min_)
+        if max_ > self.max:
+            self.max = float(max_)
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -180,6 +198,56 @@ class MetricsRegistry:
         """Zero every metric in place (registrations survive)."""
         for metric in self._metrics.values():
             metric.reset()
+
+    def dump_state(self) -> Dict[str, Dict[str, object]]:
+        """Typed, JSON-safe state of every *touched* metric.
+
+        The worker side of distributed telemetry: a subprocess resets
+        its registry, runs one task, and ships this dump back with the
+        result so the parent can :meth:`merge_state` it.  Untouched
+        metrics (zero counters, empty histograms, never-set gauges) are
+        omitted — a gauge legitimately set to ``0.0`` is therefore
+        indistinguishable from an unset one and is dropped; workers
+        should prefer counters/histograms for shippable telemetry.
+        """
+        out: Dict[str, Dict[str, object]] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                if metric.value:
+                    out[name] = {"kind": "counter", "value": metric.value}
+            elif isinstance(metric, Gauge):
+                if metric.value != 0.0:
+                    out[name] = {"kind": "gauge", "value": metric.value}
+            elif metric.count:
+                out[name] = {
+                    "kind": "histogram",
+                    "count": metric.count,
+                    "total": metric.total,
+                    "min": metric.min,
+                    "max": metric.max,
+                }
+        return out
+
+    def merge_state(self, state: Dict[str, Dict[str, object]]) -> None:
+        """Fold a :meth:`dump_state` dump into this registry.
+
+        Counters add, histograms merge count/total/min/max, gauges take
+        the shipped value (last merge wins — callers merge in task-index
+        order, so the result is deterministic).
+        """
+        for name, entry in state.items():
+            kind = entry.get("kind")
+            if kind == "counter":
+                self.counter(name).inc(entry["value"])
+            elif kind == "gauge":
+                self.gauge(name).set(entry["value"])
+            elif kind == "histogram":
+                self.histogram(name).merge(
+                    entry["count"], entry["total"], entry["min"], entry["max"]
+                )
+            else:  # pragma: no cover - forward-compat guard
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
 
 
 #: The process-wide registry every subsystem publishes into.

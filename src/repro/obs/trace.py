@@ -69,6 +69,8 @@ class Span:
         "peak_rss_kb",
         "counters",
         "children",
+        "span_id",
+        "parent_id",
     )
 
     def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
@@ -80,6 +82,8 @@ class Span:
         self.peak_rss_kb = 0.0
         self.counters: Dict[str, float] = {}
         self.children: List["Span"] = []
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
 
     def add(self, counter: str, n: float = 1) -> None:
         """Bump a named counter on this span."""
@@ -100,6 +104,8 @@ class Span:
         """This span as a flat JSON-safe dict (children not included)."""
         path = f"{path}/{self.name}" if path else self.name
         out: Dict[str, Any] = {
+            "id": self.span_id,
+            "parent": self.parent_id,
             "name": self.name,
             "path": path,
             "depth": depth,
@@ -115,11 +121,21 @@ class Span:
 
 
 class Tracer:
-    """Collects a forest of spans for one trace session."""
+    """Collects a forest of spans for one trace session.
+
+    Spans carry process-unique integer ids assigned at entry, so the
+    flat ``spans.jsonl`` records are a forest by ``(id, parent)`` —
+    including *absorbed* records shipped back from worker subprocesses
+    (:meth:`absorb`), which are re-identified into this tracer's id
+    space and parented under the span open at merge time.
+    """
 
     def __init__(self) -> None:
         self.roots: List[Span] = []
         self._stack: List[Span] = []
+        #: Flat records absorbed from worker tracers (already closed).
+        self.foreign: List[Dict[str, Any]] = []
+        self._next_id = 0
         #: perf_counter origin — span start times are relative to this.
         self.epoch_s = time.perf_counter()
 
@@ -128,7 +144,10 @@ class Tracer:
         return Span(self, name, attrs)
 
     def _push(self, span: Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
         if self._stack:
+            span.parent_id = self._stack[-1].span_id
             self._stack[-1].children.append(span)
         else:
             self.roots.append(span)
@@ -141,8 +160,36 @@ class Tracer:
         elif span in self._stack:  # pragma: no cover - misuse guard
             self._stack.remove(span)
 
+    def absorb(self, records: List[Dict[str, Any]], **extra: Any) -> None:
+        """Merge a worker tracer's flat records under the open span.
+
+        ``records`` is the worker-side :meth:`records` output for one
+        task: ids are re-mapped into this tracer's id space, paths and
+        depths are prefixed with the currently open span stack, and
+        ``extra`` key/values (e.g. ``worker_pid``, ``task_index``) are
+        stamped onto every record for attribution.
+        """
+        prefix = "/".join(span.name for span in self._stack)
+        parent_id = self._stack[-1].span_id if self._stack else None
+        depth0 = len(self._stack)
+        id_map: Dict[Any, int] = {}
+        for record in records:
+            merged = dict(record)
+            new_id = self._next_id
+            self._next_id += 1
+            if "id" in merged:
+                id_map[merged["id"]] = new_id
+            merged["id"] = new_id
+            merged["parent"] = id_map.get(merged.get("parent"), parent_id)
+            if prefix:
+                merged["path"] = f"{prefix}/{merged['path']}"
+            merged["depth"] = merged.get("depth", 0) + depth0
+            merged.update(extra)
+            self.foreign.append(merged)
+
     def records(self) -> List[Dict[str, Any]]:
-        """Every *closed* span, depth-first, as flat JSON-safe dicts."""
+        """Every *closed* span, depth-first, as flat JSON-safe dicts —
+        the process-local forest first, then absorbed worker records."""
         out: List[Dict[str, Any]] = []
 
         def walk(span: Span, depth: int, path: str) -> None:
@@ -155,6 +202,7 @@ class Tracer:
         for root in self.roots:
             if id(root) not in open_spans:
                 walk(root, 0, "")
+        out.extend(self.foreign)
         return out
 
 

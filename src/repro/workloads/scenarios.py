@@ -19,6 +19,8 @@ from repro.gameserver.config import ServerProfile, olygamer_week
 from repro.gameserver.fluid import CountLevelGenerator, FluidSeries
 from repro.gameserver.generator import PacketLevelGenerator
 from repro.gameserver.population import PopulationResult, simulate_population
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.trace.trace import Trace
 
 #: Default packet-level analysis window: one busy hour starting at the
@@ -54,7 +56,19 @@ class Scenario:
     def population(self) -> PopulationResult:
         """The session-level week (simulated once)."""
         if self._population is None:
-            self._population = simulate_population(self.profile, seed=self.seed)
+            with obs_trace.span("scenario.population", seed=self.seed):
+                self._population = simulate_population(
+                    self.profile, seed=self.seed
+                )
+            # passive accounting over the finished result — these bumps
+            # happen wherever the Scenario runs (parent *or* pool
+            # worker), so sharded runs report the same totals as serial
+            # ones once worker deltas are merged back
+            metrics = obs_metrics.registry()
+            metrics.counter("scenario.populations").inc()
+            metrics.counter("scenario.sessions").inc(
+                len(self._population.sessions)
+            )
         return self._population
 
     @property
@@ -84,13 +98,21 @@ class Scenario:
         """A packet-level trace for [start, end), cached per window."""
         key = (float(start), float(end))
         if key not in self._traces:
-            self._traces[key] = self.packet_generator.generate(start, end)
+            with obs_trace.span(
+                "scenario.packet_window", start=start, end=end
+            ):
+                self._traces[key] = self.packet_generator.generate(start, end)
+            metrics = obs_metrics.registry()
+            metrics.counter("scenario.packet_windows").inc()
+            metrics.counter("scenario.packets").inc(len(self._traces[key]))
         return self._traces[key]
 
     def per_second_series(self) -> FluidSeries:
         """The week-long per-second count series, cached."""
         if self._per_second is None:
-            self._per_second = self.fluid_generator.per_second()
+            with obs_trace.span("scenario.series", seed=self.seed):
+                self._per_second = self.fluid_generator.per_second()
+            obs_metrics.registry().counter("scenario.series_built").inc()
         return self._per_second
 
     def per_minute_series(self) -> FluidSeries:

@@ -408,4 +408,138 @@ class TestExperimentsTraceDir:
 
     def test_no_trace_line_without_flag(self, capsys):
         assert runner.main(["table1"]) == 0
-        assert "manifest at" not in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "manifest at" not in out
+        assert "trace rollup" not in out
+
+    def test_end_of_run_rollup_line(self, tmp_path, capsys):
+        """--trace-dir prints the one-line rollup sourced from the
+        finished session: wall time, peak RSS, spans, cache use."""
+        import re
+
+        code = runner.main(
+            ["matchmaking", "--policy", "least_loaded",
+             "--trace-dir", str(tmp_path / "trace")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.startswith("trace rollup:")]
+        assert len(lines) == 1
+        assert re.fullmatch(
+            r"trace rollup: \d+\.\d\d s wall \| peak rss \d+\.\d MiB "
+            r"\| \d+ spans \| cache unused",
+            lines[0],
+        ), lines[0]
+
+    def test_rollup_reports_cache_hits(self, tmp_path, capsys):
+        import re
+
+        code = runner.main(
+            ["matchmaking", "--policy", "least_loaded",
+             "--trace-dir", str(tmp_path / "t1"),
+             "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert code == 0
+        cold = capsys.readouterr().out
+        # cold run: some lookups miss (within-run reuse may still hit)
+        assert re.search(r"\| cache \d+/\d+ hits", cold)
+        assert "(100.0%)" not in cold
+
+        code = runner.main(
+            ["matchmaking", "--policy", "least_loaded",
+             "--trace-dir", str(tmp_path / "t2"),
+             "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert code == 0
+        warm = capsys.readouterr().out
+        rollup = [l for l in warm.splitlines() if "trace rollup" in l][0]
+        assert "(100.0%)" in rollup  # warm run: every lookup hits
+
+
+class TestAnalyzeCli:
+    """repro-analyze, driven over a real traced run."""
+
+    @pytest.fixture(scope="class")
+    def trace_dirs(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("analyze")
+        for name, policy, seed in (
+            ("a", "least_loaded", "0"),
+            ("b", "latency_aware", "1"),
+        ):
+            code = runner.main(
+                ["matchmaking", "--policy", policy, "--seed", seed,
+                 "--trace-dir", str(root / name)]
+            )
+            assert code == 0
+        return str(root / "a"), str(root / "b")
+
+    def test_summary_self_validates(self, trace_dirs, capsys):
+        from repro.cli import analyze_main
+
+        assert analyze_main(["summary", trace_dirs[0]]) == 0
+        out = capsys.readouterr().out
+        assert "metric totals" in out
+        assert "match the manifest" in out
+        assert "MISMATCH" not in out
+
+    def test_spans_rollup_and_critical_path(self, trace_dirs, capsys):
+        from repro.cli import analyze_main
+
+        assert analyze_main(["spans", trace_dirs[0]]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase wall time" in out
+        assert "critical path" in out
+        assert "fleet.shard_map" in out
+
+    def test_heatmap_and_frontier(self, trace_dirs, capsys):
+        from repro.cli import analyze_main
+
+        assert analyze_main(["heatmap", trace_dirs[0]]) == 0
+        out = capsys.readouterr().out
+        assert "occupancy × region × epoch" in out
+        assert "occupancy–RTT frontier" in out
+        assert "least_loaded" in out
+
+    def test_heatmap_unknown_policy_rejected(self, trace_dirs, capsys):
+        from repro.cli import analyze_main
+
+        assert analyze_main(
+            ["heatmap", trace_dirs[0], "--policy", "zergrush"]
+        ) == 2
+        assert "not traced" in capsys.readouterr().err
+
+    def test_compare_two_runs(self, trace_dirs, capsys):
+        from repro.cli import analyze_main
+
+        assert analyze_main(["compare", *trace_dirs]) == 0
+        out = capsys.readouterr().out
+        assert "seed" in out
+        assert "config_fingerprint" in out
+
+    def test_compare_bench_soft_fails_with_annotation(
+        self, trace_dirs, tmp_path, capsys
+    ):
+        import json
+
+        from repro.cli import analyze_main
+
+        bench = tmp_path / "BENCH_obs_test.json"
+        bench.write_text(json.dumps({
+            "records": [{"kernel_pps": v} for v in (100.0, 110.0, 40.0)]
+        }))
+        # a >20% regression is reported as a warning annotation, and
+        # the exit code stays 0 — CI must not break on perf noise
+        assert analyze_main(
+            ["compare", trace_dirs[0], "--bench", str(bench)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "::warning ::" in out
+        assert "kernel_pps" in out
+
+    def test_missing_trace_dir_is_a_clean_error(self, tmp_path, capsys):
+        from repro.cli import analyze_main
+
+        assert analyze_main(["summary", str(tmp_path / "absent")]) == 2
+        err = capsys.readouterr().err
+        assert "manifest.json" in err
+        assert "Traceback" not in err

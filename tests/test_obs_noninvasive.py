@@ -105,16 +105,23 @@ class TestMatchmakingBitIdentity:
 
 
 class TestFleetBitIdentity:
-    def test_sharded_aggregate_traced_equals_untraced(self, tmp_path):
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_sharded_aggregate_traced_equals_untraced(
+        self, tmp_path, workers
+    ):
+        """Bit-identity holds for the serial branch and real pools alike
+        (workers > 1 ships per-task telemetry back on the futures)."""
         from repro.fleet.scenario import FleetScenario
         from repro.gameserver.fluid import fluid_series_equal
 
         fleet = hosting_facility(n_servers=4, duration=1800.0, seed=5)
-        baseline = FleetScenario(fleet).aggregate_per_second(workers=2)
+        baseline = FleetScenario(fleet).aggregate_per_second(workers=workers)
 
         obs.start_trace_session(tmp_path / "trace", seed=5)
         try:
-            traced = FleetScenario(fleet).aggregate_per_second(workers=2)
+            traced = FleetScenario(fleet).aggregate_per_second(
+                workers=workers
+            )
         finally:
             obs.end_trace_session()
 
