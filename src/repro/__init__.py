@@ -34,8 +34,11 @@ Top-level layout:
   least-loaded / sticky / capacity-aware admission control /
   lowest-RTT / latency-aware occupancy-vs-QoE scoring over a seeded
   region×server RTT matrix), making facility load endogenous to
-  placement; deterministic epoch engine plus sharded, cacheable
-  per-server traffic synthesis over the assignments;
+  placement; deterministic epoch engine — with a columnar fast path
+  (:mod:`repro.matchmaking.columnar`, ``engine="auto"``) that batches
+  the loop at provable no-contention points bit-identically to the
+  scalar reference — plus sharded, cacheable per-server traffic
+  synthesis over the assignments;
 * :mod:`repro.obs` — passive observability threaded through every
   layer: a span tracer (no-op unless installed), a process-local
   metrics registry (cache hits, kernel fast-path vs fallback segments,

@@ -246,6 +246,15 @@ def main(argv: List[str] = None) -> int:
         "least-loaded placement)",
     )
     parser.add_argument(
+        "--engine",
+        choices=matchmaking.ENGINES,
+        default=None,
+        help="matchmaking epoch-loop engine: 'scalar' is the per-attempt "
+        "reference loop, 'columnar' the vectorised path (bit-identical, "
+        "an error for policies it cannot prove), 'auto' picks columnar "
+        "whenever it applies (default: auto)",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="list experiment ids with one-line descriptions and exit",
@@ -279,6 +288,8 @@ def main(argv: List[str] = None) -> int:
         matchmaking.set_default_alpha(args.alpha)
     if args.beta is not None:
         matchmaking.set_default_beta(args.beta)
+    if args.engine is not None:
+        matchmaking.set_default_engine(args.engine)
 
     manifest_path = None
     trace_session = None
@@ -304,6 +315,7 @@ def main(argv: List[str] = None) -> int:
                         "rtt_profile": args.rtt_profile,
                         "alpha": args.alpha,
                         "beta": args.beta,
+                        "engine": args.engine,
                     }
                 ),
             )
@@ -330,6 +342,7 @@ def main(argv: List[str] = None) -> int:
         matchmaking.set_default_rtt_profile(None)
         matchmaking.set_default_alpha(None)
         matchmaking.set_default_beta(None)
+        matchmaking.set_default_engine(None)
     failures = 0
     for output in outputs:
         print(output.render())

@@ -26,6 +26,13 @@ replicas into one coupled facility:
   per-epoch pool/assignment streams and per-``(server, epoch)``
   duration streams, producing per-server session assignments,
   occupancy traces and per-session RTTs (:class:`MatchmakingResult`);
+  the ``engine`` knob (:data:`ENGINES`: ``auto`` / ``scalar`` /
+  ``columnar``) selects the per-attempt reference loop or the
+  vectorised columnar path;
+* :mod:`repro.matchmaking.columnar` — the columnar engine: the epoch
+  loop segmented at provable no-contention points and batched with
+  numpy, bit-identical to the scalar loop for every stock policy
+  (:func:`supports_policy`);
 * :mod:`repro.matchmaking.traffic` — picklable per-server traffic tasks
   over assigned populations, sharded through
   :func:`repro.fleet.execution.shard_map_fold` and cached by
@@ -44,7 +51,9 @@ experiment (``repro-experiments matchmaking --policy latency_aware
 six policies under one demand process and RTT geometry.
 """
 
+from repro.matchmaking.columnar import supports_policy
 from repro.matchmaking.engine import (
+    ENGINES,
     MatchmakingResult,
     MatchmakingSimulator,
     simulate_matchmaking,
@@ -77,6 +86,7 @@ from repro.matchmaking.traffic import (
 )
 
 __all__ = [
+    "ENGINES",
     "POLICIES",
     "RTT_PROFILES",
     "AssignedSeriesTask",
@@ -101,5 +111,6 @@ __all__ = [
     "simulate_assigned_series",
     "simulate_assigned_window",
     "simulate_matchmaking",
+    "supports_policy",
     "validate_score_weight",
 ]

@@ -32,7 +32,6 @@ Determinism and shard-friendliness:
 from __future__ import annotations
 
 import heapq
-import inspect
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
@@ -50,6 +49,9 @@ from repro.sim.random import derive_seed, sample_lognormal
 
 #: Player lifecycle states.
 _IDLE, _WAITING, _PLAYING = 0, 1, 2
+
+#: Legal values of the ``engine`` knob.
+ENGINES = ("auto", "scalar", "columnar")
 
 
 @dataclass
@@ -179,6 +181,16 @@ class MatchmakingSimulator:
         region profile and this simulator's seed, so every policy sees
         geometry and records per-session RTTs even when it places
         latency-blind.
+    engine:
+        ``"auto"`` (default) runs the vectorised
+        :mod:`repro.matchmaking.columnar` engine for the six built-in
+        policy classes and the scalar loop for anything else (including
+        subclasses that override ``select``); ``"scalar"`` forces the
+        per-attempt loop; ``"columnar"`` forces the vectorised engine
+        and raises :class:`ValueError` for policies it cannot prove
+        bit-identical.  Both engines produce identical
+        :class:`MatchmakingResult`\\ s — the knob only trades
+        implementation.
     """
 
     def __init__(
@@ -188,6 +200,7 @@ class MatchmakingSimulator:
         config: Optional[PoolConfig] = None,
         seed: Optional[int] = None,
         rtt: Optional[RttMatrix] = None,
+        engine: str = "auto",
     ) -> None:
         self.fleet = fleet
         self.policy = make_policy(policy)
@@ -218,12 +231,32 @@ class MatchmakingSimulator:
             )
         # out-of-tree policies written against the pre-RTT signature
         # (occupancy, capacities, last_server, rng) keep working: only
-        # pass the RTT view to select() implementations that accept it
-        parameters = inspect.signature(self.policy.select).parameters
-        self._select_takes_rtt = "rtt" in parameters or any(
-            p.kind is inspect.Parameter.VAR_KEYWORD
-            for p in parameters.values()
-        )
+        # pass the RTT view to select() implementations that accept it.
+        # The signature probe is cached per policy *class* (see
+        # SelectionPolicy.select_accepts_rtt), so sweep loops that build
+        # thousands of simulators don't re-inspect.
+        self._select_takes_rtt = type(self.policy).select_accepts_rtt()
+        if engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {engine!r}"
+            )
+        self.engine = engine
+        if engine == "scalar":
+            self._engine_resolved = "scalar"
+        else:
+            from repro.matchmaking import columnar
+
+            if columnar.supports_policy(self.policy):
+                self._engine_resolved = "columnar"
+            elif engine == "columnar":
+                raise ValueError(
+                    f"engine='columnar' cannot prove bit-identity for "
+                    f"policy {self.policy!r} (only the built-in policy "
+                    "classes are supported); use engine='auto' or "
+                    "'scalar'"
+                )
+            else:
+                self._engine_resolved = "scalar"
 
     # ------------------------------------------------------------------
     def run(self) -> MatchmakingResult:
@@ -279,6 +312,14 @@ class MatchmakingSimulator:
             )
 
     def _run(self) -> MatchmakingResult:
+        """Dispatch to the resolved engine (both are bit-identical)."""
+        if self._engine_resolved == "columnar":
+            from repro.matchmaking import columnar
+
+            return columnar.run_columnar(self)
+        return self._run_scalar()
+
+    def _run_scalar(self) -> MatchmakingResult:
         config = self.config
         fleet = self.fleet
         policy = self.policy
@@ -317,10 +358,17 @@ class MatchmakingSimulator:
         prev_totals = (0, 0, 0, 0, 0)
 
         def drain_departures(until: float, strict: bool = False) -> None:
-            """Finish sessions ending before ``until`` (``<=`` unless strict)."""
+            """Finish sessions ending before ``until`` (``<=`` unless strict).
+
+            Strict drains (the epoch-boundary sample) keep sessions that
+            end exactly at ``until`` alive; non-strict drains (before
+            each attempt) finish them, so a slot freed at the attempt's
+            own timestamp is already available to the matchmaker.
+            """
             while departures and (
                 departures[0][0] < until
-                or (not strict and departures[0][0] <= until)
+                if strict
+                else departures[0][0] <= until
             ):
                 _, server, player = heapq.heappop(departures)
                 occupancy[server] -= 1
@@ -493,8 +541,9 @@ def simulate_matchmaking(
     config: Optional[PoolConfig] = None,
     seed: Optional[int] = None,
     rtt: Optional[RttMatrix] = None,
+    engine: str = "auto",
 ) -> MatchmakingResult:
     """Convenience wrapper: run one :class:`MatchmakingSimulator`."""
     return MatchmakingSimulator(
-        fleet, policy, config=config, seed=seed, rtt=rtt
+        fleet, policy, config=config, seed=seed, rtt=rtt, engine=engine
     ).run()

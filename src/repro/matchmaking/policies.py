@@ -43,6 +43,7 @@ the whole assignment sequence is reproducible from one seed.
 
 from __future__ import annotations
 
+import inspect
 import math
 from typing import Dict, Optional, Type, Union
 
@@ -97,6 +98,29 @@ class SelectionPolicy:
         turned the player away (admission control).
         """
         raise NotImplementedError
+
+    @classmethod
+    def select_accepts_rtt(cls) -> bool:
+        """Whether this class's ``select`` takes the ``rtt`` keyword.
+
+        Out-of-tree policies written against the pre-RTT signature
+        ``(occupancy, capacities, last_server, rng)`` keep working: the
+        engine only passes the RTT view to implementations that accept
+        it (an ``rtt`` parameter or ``**kwargs``).  The
+        ``inspect.signature`` probe runs once per *class* — cached on
+        the class itself, and never inherited, so a subclass overriding
+        ``select`` is re-probed — keeping sweep loops that construct
+        thousands of simulators free of per-run introspection.
+        """
+        cached = cls.__dict__.get("_select_accepts_rtt")
+        if cached is None:
+            parameters = inspect.signature(cls.select).parameters
+            cached = "rtt" in parameters or any(
+                p.kind is inspect.Parameter.VAR_KEYWORD
+                for p in parameters.values()
+            )
+            cls._select_accepts_rtt = cached
+        return cached
 
     def _require_rtt(self, rtt: Optional[np.ndarray]) -> np.ndarray:
         """The RTT view, or a clear error for latency-blind call sites."""

@@ -11,7 +11,10 @@ three fleet-level throughput figures on small fixed workloads —
   :class:`~repro.fleet.cache.ShardCache` driven through
   :func:`~repro.fleet.execution.shard_map`;
 * ``matchmaking_players_per_s`` — closed-loop epoch-engine connection
-  attempts per wall second on the golden-regression scenario —
+  attempts per wall second on the golden-regression scenario;
+* ``matchmaking_columnar_players_per_s`` — the same scenario through
+  the columnar engine (``engine="columnar"``), starting the trajectory
+  for the vectorised hot path —
 
 and **appends** them (with git revision, package/kernel versions and a
 timestamp) to the JSON trajectory file, so each PR's benchmark run adds
@@ -103,11 +106,21 @@ def _measure_matchmaking_rate() -> Dict[str, float]:
         session_duration_min=5.0,
     )
     t0 = time.perf_counter()
-    result = simulate_matchmaking(fleet, "latency_aware", config)
+    result = simulate_matchmaking(fleet, "latency_aware", config, engine="scalar")
     wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    columnar = simulate_matchmaking(
+        fleet, "latency_aware", config, engine="columnar"
+    )
+    wall_columnar = time.perf_counter() - t0
     attempts = result.admission.attempts
     return {
         "matchmaking_players_per_s": attempts / wall if wall > 0 else 0.0,
+        "matchmaking_columnar_players_per_s": (
+            columnar.admission.attempts / wall_columnar
+            if wall_columnar > 0
+            else 0.0
+        ),
         "matchmaking_attempts": float(attempts),
     }
 

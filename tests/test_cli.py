@@ -195,6 +195,32 @@ class TestExperimentsMatchmakingFlags:
         assert "must exceed" in err
         assert "Traceback" not in err
 
+    def test_unknown_engine_is_a_clean_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["--engine", "turbo", "matchmaking"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--engine" in err
+        assert "Traceback" not in err
+
+    def test_engine_choices_come_from_the_engine_registry(self, capsys):
+        from repro.matchmaking import ENGINES
+
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["--engine", "turbo", "matchmaking"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        for name in ENGINES:
+            assert name in err
+
+    def test_engine_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--engine" in out
+        assert "columnar" in out
+
     def test_defaults_are_reset_after_run(self, monkeypatch):
         from repro.experiments import matchmaking
 
@@ -206,6 +232,7 @@ class TestExperimentsMatchmakingFlags:
             calls["rtt_profile"] = matchmaking._default_rtt_profile
             calls["alpha"] = matchmaking._default_alpha
             calls["beta"] = matchmaking._default_beta
+            calls["engine"] = matchmaking._default_engine
             return []
 
         monkeypatch.setattr(runner, "run_experiments", fake_run)
@@ -213,7 +240,7 @@ class TestExperimentsMatchmakingFlags:
             [
                 "--policy", "latency_aware", "--pool-size", "123",
                 "--rtt-profile", "continental", "--alpha", "2.5",
-                "--beta", "0.5", "matchmaking",
+                "--beta", "0.5", "--engine", "columnar", "matchmaking",
             ]
         )
         # installed for the run...
@@ -223,6 +250,7 @@ class TestExperimentsMatchmakingFlags:
             "rtt_profile": "continental",
             "alpha": 2.5,
             "beta": 0.5,
+            "engine": "columnar",
         }
         # ...and cleared afterwards
         assert matchmaking._default_policy is None
@@ -230,6 +258,7 @@ class TestExperimentsMatchmakingFlags:
         assert matchmaking._default_rtt_profile is None
         assert matchmaking._default_alpha is None
         assert matchmaking._default_beta is None
+        assert matchmaking._default_engine is None
 
 
 class TestExperimentsCacheDir:

@@ -1,0 +1,369 @@
+"""Scalar/columnar engine parity: the bit-identity contract.
+
+The columnar engine (:mod:`repro.matchmaking.columnar`) is only allowed
+to be fast because it is *provably* the same computation: for every
+stock policy, every :class:`MatchmakingResult` field — sessions,
+occupancy traces, admission stats, per-server attribution, session RTTs
+— must equal the scalar engine's bit for bit.  This suite pins that
+contract on the golden scenario, under hypothesis property sweeps,
+through the saturated-window fast path, and downstream across worker
+counts and warm/cold shard caches; it also covers the ``engine`` knob's
+validation, the hoisted ``select_accepts_rtt`` probe (legacy
+pre-RTT policies keep working) and the simplified ``drain_departures``
+boundary semantics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.fleet.cache import ShardCache
+from repro.fleet.profiles import hosting_facility
+from repro.fleet.scenario import FleetScenario
+from repro.matchmaking import (
+    ENGINES,
+    POLICIES,
+    LatencyAwarePolicy,
+    LeastLoadedPolicy,
+    MatchmakingSimulator,
+    PoolConfig,
+    RttMatrix,
+    SelectionPolicy,
+    simulate_matchmaking,
+    supports_policy,
+)
+
+POLICY_NAMES = sorted(POLICIES)
+
+
+def _scenario(
+    seed=3,
+    n_servers=3,
+    duration=900.0,
+    demand_ratio=3.0,
+    session_duration_mean=180.0,
+    session_duration_min=5.0,
+):
+    fleet = hosting_facility(n_servers=n_servers, duration=duration, seed=seed)
+    config = PoolConfig.for_fleet(
+        fleet,
+        demand_ratio=demand_ratio,
+        epoch_length=60.0,
+        session_duration_mean=session_duration_mean,
+        session_duration_min=session_duration_min,
+    )
+    rtt = RttMatrix.for_fleet(fleet, config.region_profile, seed=seed)
+    return fleet, config, rtt
+
+
+def _both_engines(policy, seed=3, **kwargs):
+    fleet, config, rtt = _scenario(seed=seed, **kwargs)
+    scalar = simulate_matchmaking(
+        fleet, policy, config, rtt=rtt, seed=seed, engine="scalar"
+    )
+    columnar = simulate_matchmaking(
+        fleet, policy, config, rtt=rtt, seed=seed, engine="columnar"
+    )
+    return scalar, columnar
+
+
+def _assert_identical(a, b):
+    """Bit-identity across every field of two MatchmakingResults."""
+    np.testing.assert_array_equal(a.occupancy, b.occupancy)
+    np.testing.assert_array_equal(a.per_server_attempts, b.per_server_attempts)
+    np.testing.assert_array_equal(
+        a.per_server_rejections, b.per_server_rejections
+    )
+    assert a.admission == b.admission
+    assert a.sessions == b.sessions
+    assert a.capacities == b.capacities
+    assert a.repeat_assignments == b.repeat_assignments
+    assert len(a.session_rtts) == len(b.session_rtts)
+    for rtts_a, rtts_b in zip(a.session_rtts, b.session_rtts):
+        np.testing.assert_array_equal(rtts_a, rtts_b)
+    assert a.describe() == b.describe()
+
+
+class TestGoldenParity:
+    """All six stock policies on the golden-regression scenario."""
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_policy_bit_identical(self, policy):
+        scalar, columnar = _both_engines(policy)
+        _assert_identical(scalar, columnar)
+
+    def test_custom_weights_bit_identical(self):
+        scalar, columnar = _both_engines(
+            LatencyAwarePolicy(alpha=2.0, beta=0.25)
+        )
+        _assert_identical(scalar, columnar)
+
+    def test_auto_resolves_to_columnar_for_stock_policies(self):
+        fleet, config, rtt = _scenario()
+        sim = MatchmakingSimulator(
+            fleet, "least_loaded", config=config, rtt=rtt, engine="auto"
+        )
+        assert sim._engine_resolved == "columnar"
+        _assert_identical(
+            sim.run(),
+            simulate_matchmaking(
+                fleet, "least_loaded", config, rtt=rtt, engine="scalar"
+            ),
+        )
+
+
+class TestSaturatedWindows:
+    """The departure/attempt window fast path, at flash-crowd demand."""
+
+    @pytest.mark.parametrize(
+        "policy", ["least_loaded", "sticky", "lowest_rtt", "latency_aware"]
+    )
+    def test_saturated_parity(self, policy):
+        # long sessions + 12x demand keep the facility pinned full, the
+        # regime the saturated-window batching serves
+        scalar, columnar = _both_engines(
+            policy,
+            demand_ratio=12.0,
+            session_duration_mean=600.0,
+        )
+        assert scalar.admission.rejected > scalar.admission.admitted
+        _assert_identical(scalar, columnar)
+
+    def test_window_path_actually_vectorises(self):
+        from repro.obs.metrics import registry, reset_metrics
+
+        reset_metrics()
+        _, columnar = _both_engines(
+            "least_loaded", demand_ratio=12.0, session_duration_mean=600.0
+        )
+        reg = registry()
+        vectorised = reg.counter(
+            "matchmaking.columnar.vectorised_attempts"
+        ).value
+        fallback = reg.counter(
+            "matchmaking.columnar.scalar_fallback_attempts"
+        ).value
+        assert vectorised + fallback == columnar.admission.attempts
+        # under saturation the batched spans must dominate
+        assert vectorised > fallback
+
+
+class TestPropertyParity:
+    """Hypothesis sweep: parity is not a property of one scenario."""
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        demand=st.sampled_from([0.5, 1.5, 4.0]),
+        n_servers=st.integers(min_value=1, max_value=5),
+        policy=st.sampled_from(POLICY_NAMES),
+    )
+    def test_sweep_bit_identical(self, seed, demand, n_servers, policy):
+        scalar, columnar = _both_engines(
+            policy,
+            seed=seed,
+            n_servers=n_servers,
+            duration=600.0,
+            demand_ratio=demand,
+        )
+        _assert_identical(scalar, columnar)
+
+
+class TestDownstreamParity:
+    """A columnar result feeds the sharded fleet stage identically."""
+
+    @pytest.fixture(scope="class")
+    def columnar_result(self):
+        fleet, config, rtt = _scenario(n_servers=4, duration=600.0)
+        return simulate_matchmaking(
+            fleet, "least_loaded", config, rtt=rtt, engine="columnar"
+        )
+
+    def _series_equal(self, a, b):
+        return all(
+            np.array_equal(np.asarray(getattr(a, f)), np.asarray(getattr(b, f)))
+            for f in ("in_counts", "out_counts", "in_bytes", "out_bytes")
+        )
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_workers_bit_identical(self, columnar_result, workers):
+        serial = FleetScenario.from_matchmaking(
+            columnar_result
+        ).aggregate_per_second(workers=1)
+        sharded = FleetScenario.from_matchmaking(
+            columnar_result
+        ).aggregate_per_second(workers=workers)
+        assert self._series_equal(serial, sharded)
+
+    def test_warm_cache_replays_bit_identically(
+        self, columnar_result, tmp_path
+    ):
+        cache = ShardCache(tmp_path / "shards")
+        cold = FleetScenario.from_matchmaking(
+            columnar_result, cache=cache
+        ).aggregate_per_second(workers=1)
+        warm_cache = ShardCache(tmp_path / "shards")
+        warm = FleetScenario.from_matchmaking(
+            columnar_result, cache=warm_cache
+        ).aggregate_per_second(workers=1)
+        assert warm_cache.stats.hits == columnar_result.n_servers
+        assert warm_cache.stats.stores == 0
+        assert self._series_equal(cold, warm)
+
+    def test_scalar_and_columnar_share_cache_entries(
+        self, columnar_result, tmp_path
+    ):
+        # identical sessions -> identical shard keys: a cache warmed by
+        # one engine serves the other without a single store
+        fleet, config, rtt = _scenario(n_servers=4, duration=600.0)
+        scalar = simulate_matchmaking(
+            fleet, "least_loaded", config, rtt=rtt, engine="scalar"
+        )
+        cache = ShardCache(tmp_path / "xengine")
+        FleetScenario.from_matchmaking(
+            scalar, cache=cache
+        ).aggregate_per_second(workers=1)
+        replay_cache = ShardCache(tmp_path / "xengine")
+        FleetScenario.from_matchmaking(
+            columnar_result, cache=replay_cache
+        ).aggregate_per_second(workers=1)
+        assert replay_cache.stats.hits == columnar_result.n_servers
+        assert replay_cache.stats.stores == 0
+
+
+class _LegacyPolicy(SelectionPolicy):
+    """Out-of-tree policy written against the pre-RTT signature."""
+
+    name = "legacy"
+
+    def select(self, occupancy, capacities, last_server, rng):
+        return 0
+
+
+class _KwargsPolicy(SelectionPolicy):
+    """Out-of-tree policy taking the RTT view through ``**kwargs``."""
+
+    name = "kwargs"
+
+    def select(self, occupancy, capacities, last_server, rng, **kwargs):
+        return 0
+
+
+class TestEngineKnob:
+    def test_engines_tuple(self):
+        assert ENGINES == ("auto", "scalar", "columnar")
+
+    def test_unknown_engine_rejected(self):
+        fleet, config, rtt = _scenario()
+        with pytest.raises(ValueError, match="engine"):
+            MatchmakingSimulator(
+                fleet, "least_loaded", config=config, rtt=rtt, engine="turbo"
+            )
+
+    def test_columnar_refuses_unsupported_policy(self):
+        fleet, config, rtt = _scenario()
+        with pytest.raises(ValueError, match="bit-identity"):
+            MatchmakingSimulator(
+                fleet,
+                _LegacyPolicy(),
+                config=config,
+                rtt=rtt,
+                engine="columnar",
+            )
+
+    def test_auto_falls_back_to_scalar_for_subclasses(self):
+        # a subclass overriding select has unknown behaviour: identity
+        # matching (not isinstance) must route it to the scalar loop
+        class Tweaked(LeastLoadedPolicy):
+            def select(self, occupancy, capacities, last_server, rng, rtt=None):
+                return 0
+
+        assert not supports_policy(Tweaked())
+        fleet, config, rtt = _scenario()
+        sim = MatchmakingSimulator(
+            fleet, Tweaked(), config=config, rtt=rtt, engine="auto"
+        )
+        assert sim._engine_resolved == "scalar"
+        assert sim.run().admission.attempts > 0
+
+
+class TestSignatureProbe:
+    """The hoisted, per-class-cached ``select_accepts_rtt`` probe."""
+
+    def test_stock_policies_accept_rtt(self):
+        for name in POLICY_NAMES:
+            assert POLICIES[name].select_accepts_rtt()
+
+    def test_legacy_signature_detected(self):
+        assert not _LegacyPolicy.select_accepts_rtt()
+        assert _KwargsPolicy.select_accepts_rtt()
+
+    def test_probe_cached_per_class_not_inherited(self):
+        class Child(_LegacyPolicy):
+            def select(self, occupancy, capacities, last_server, rng, rtt=None):
+                return 0
+
+        assert _LegacyPolicy.select_accepts_rtt() is False
+        # the parent's cached False must not leak onto the child, whose
+        # overriding select does accept the RTT view
+        assert Child.select_accepts_rtt() is True
+        assert "_select_accepts_rtt" in Child.__dict__
+
+    def test_legacy_policy_simulates_without_rtt_view(self):
+        # end to end: the engine probes the signature once and withholds
+        # the RTT view from pre-RTT implementations
+        fleet, config, rtt = _scenario(n_servers=2, duration=300.0)
+        result = simulate_matchmaking(
+            fleet, _LegacyPolicy(), config, rtt=rtt, engine="auto"
+        )
+        assert result.admission.admitted > 0
+        # every admission landed on server 0, as the stub dictates
+        assert all(len(s) == 0 for s in result.sessions[1:])
+
+
+class TestDrainBoundary:
+    """Boundary-time departures under the simplified drain predicate."""
+
+    def test_sessions_ending_at_horizon_stay_in_final_sample(self):
+        # clamp every duration to the horizon: sessions admitted late
+        # end *exactly* at the final epoch boundary, and the strict
+        # epoch-end drain must keep them alive in that epoch's
+        # occupancy sample (they end at t1, not before it)
+        fleet, config, rtt = _scenario(
+            n_servers=2,
+            duration=300.0,
+            demand_ratio=4.0,
+            session_duration_mean=250.0,
+            session_duration_min=400.0,  # > horizon: every end clips
+        )
+        for engine in ("scalar", "columnar"):
+            result = simulate_matchmaking(
+                fleet, "least_loaded", config, rtt=rtt, engine=engine
+            )
+            ends = np.array(
+                [
+                    s.end
+                    for server in result.sessions
+                    for s in server
+                ]
+            )
+            assert ends.size > 0
+            np.testing.assert_array_equal(ends, fleet.horizon)
+            # alive at the boundary: the final occupancy column counts
+            # every session that ends exactly at the horizon
+            assert int(result.occupancy[:, -1].sum()) == ends.size
+
+    def test_engines_agree_on_boundary_heavy_scenario(self):
+        scalar, columnar = _both_engines(
+            "least_loaded",
+            n_servers=2,
+            duration=300.0,
+            demand_ratio=4.0,
+            session_duration_mean=250.0,
+            session_duration_min=400.0,
+        )
+        _assert_identical(scalar, columnar)

@@ -40,6 +40,7 @@ class TestCollectPerfRecord:
         assert 0.0 <= record["cache_hit_rate_warm"] <= 1.0
         assert record["cache_hit_rate_warm"] == 1.0  # warm pass: all hits
         assert record["matchmaking_players_per_s"] > 0
+        assert record["matchmaking_columnar_players_per_s"] > 0
         for key in ("git_rev", "repro_version", "kernel_version", "python"):
             assert record[key]
         json.dumps(record)  # the record itself must be JSON-safe

@@ -189,3 +189,29 @@ class TestLayerPublication:
         )
         occupancy = reg.histogram("matchmaking.epoch_occupancy")
         assert occupancy.count == result.occupancy.shape[1]
+
+    def test_columnar_engine_counts_segments_and_fallbacks(self):
+        from repro.fleet.profiles import hosting_facility
+        from repro.matchmaking import PoolConfig, simulate_matchmaking
+
+        reset_metrics()
+        fleet = hosting_facility(n_servers=2, duration=300.0, seed=1)
+        config = PoolConfig.for_fleet(fleet, epoch_length=60.0)
+        result = simulate_matchmaking(
+            fleet, "least_loaded", config, engine="columnar"
+        )
+        reg = registry()
+        segments = reg.counter("matchmaking.columnar.segments").value
+        vectorised = reg.counter(
+            "matchmaking.columnar.vectorised_attempts"
+        ).value
+        fallback = reg.counter(
+            "matchmaking.columnar.scalar_fallback_attempts"
+        ).value
+        assert segments >= 1
+        # every attempt is accounted to exactly one of the two paths
+        assert vectorised + fallback == result.admission.attempts
+        # the scalar engine must not touch the columnar counters
+        reset_metrics()
+        simulate_matchmaking(fleet, "least_loaded", config, engine="scalar")
+        assert reg.counter("matchmaking.columnar.segments").value == 0

@@ -100,6 +100,13 @@ class TestMatchmakingBitIdentity:
 
         manifest = load_manifest(tmp_path / "trace")
         assert manifest["metrics"]["matchmaking.attempts"] > 0
+        # the golden run goes through engine="auto" -> columnar, so the
+        # vectorisation counters must land in the manifest totals too
+        assert manifest["metrics"]["matchmaking.columnar.segments"] > 0
+        assert (
+            "matchmaking.columnar.scalar_fallback_attempts"
+            in manifest["metrics"]
+        )
         epochs = read_jsonl(tmp_path / "trace" / "matchmaking_epochs.jsonl")
         assert len(epochs) == int(HORIZON // 60.0)
 
