@@ -20,6 +20,9 @@ Examples::
     repro-analyze spans trace/ --limit 15
     repro-analyze heatmap trace/ --policy latency_aware
     repro-analyze compare trace-a/ trace-b/ --bench BENCH_obs_ci.json
+    repro-analyze watch trace/              # live: refreshing status table
+    repro-analyze watch trace/ --once --strict   # CI: one frame, stall=fail
+    repro-analyze export trace/ --format chrome-trace -o trace.json
 """
 
 from __future__ import annotations
@@ -125,6 +128,13 @@ def _print_provenance(run) -> None:
     experiments = manifest.get("experiments")
     if experiments:
         print(f"  experiments: {', '.join(experiments)}")
+    heartbeats = manifest.get("heartbeats")
+    samples = manifest.get("resource_samples")
+    if heartbeats is not None or samples is not None:
+        print(
+            f"  live streams: {heartbeats or 0} heartbeats | "
+            f"{samples or 0} resource samples"
+        )
 
 
 def _cmd_summary(args) -> int:
@@ -321,6 +331,62 @@ def _cmd_compare(args) -> int:
     return exit_code
 
 
+def _cmd_watch(args) -> int:
+    import time as _time
+
+    from repro.obs.live import STALL_FACTOR, WatchState
+
+    factor = (
+        args.stall_factor if args.stall_factor is not None else STALL_FACTOR
+    )
+    if not os.path.isdir(args.trace_dir):
+        print(
+            f"error: {args.trace_dir!r} is not a directory",
+            file=sys.stderr,
+        )
+        return 2
+    state = WatchState(args.trace_dir)
+    interactive = not args.once and sys.stdout.isatty()
+    while True:
+        state.poll()
+        frame = state.render()
+        if interactive:
+            # home + clear-below keeps a single refreshing table
+            print(f"\x1b[H\x1b[J{frame}", flush=True)
+        else:
+            print(frame, flush=True)
+        stall = state.stall(factor=factor, stall_after=args.stall_after)
+        if stall is not None:
+            print(f"::warning ::watch {args.trace_dir}: {stall}", flush=True)
+            if args.strict:
+                return 1
+        if args.once:
+            return 0
+        if state.finished():
+            return 0
+        try:
+            _time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return 130
+
+
+def _cmd_export(args) -> int:
+    from repro.obs.live import write_chrome_trace
+
+    run = _load_run_or_fail(args.trace_dir)
+    if run is None:
+        return 2
+    output = args.output
+    if output is None:
+        output = os.path.join(args.trace_dir, "trace_events.json")
+    count = write_chrome_trace(run, output)
+    print(
+        f"wrote {count} span events ({args.format}) to {output} "
+        "(load in chrome://tracing or ui.perfetto.dev)"
+    )
+    return 0
+
+
 def build_analyze_parser() -> argparse.ArgumentParser:
     """The repro-analyze argument parser."""
     parser = argparse.ArgumentParser(
@@ -384,6 +450,51 @@ def build_analyze_parser() -> argparse.ArgumentParser:
         help="relative regression tolerance for --bench (default 0.2)",
     )
     compare.set_defaults(fn=_cmd_compare)
+
+    watch = commands.add_parser(
+        "watch",
+        help="tail an in-flight trace dir: per-stage progress bars, "
+        "rates, ETA, resource liveness, stall detection",
+    )
+    watch.add_argument("trace_dir", help="trace artifact directory")
+    watch.add_argument(
+        "--once", action="store_true",
+        help="render one frame and exit (scripted/CI use)",
+    )
+    watch.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when the run looks stalled",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="refresh interval (default 1.0)",
+    )
+    watch.add_argument(
+        "--stall-factor", type=float, default=None, metavar="N",
+        help="stalled = no liveness signal for N x its expected "
+        "interval (default 10)",
+    )
+    watch.add_argument(
+        "--stall-after", type=float, default=None, metavar="SECONDS",
+        help="absolute stall budget in seconds (overrides --stall-factor)",
+    )
+    watch.set_defaults(fn=_cmd_watch)
+
+    export = commands.add_parser(
+        "export",
+        help="convert a finished run's span forest for external viewers",
+    )
+    export.add_argument("trace_dir", help="trace artifact directory")
+    export.add_argument(
+        "--format", choices=("chrome-trace",), default="chrome-trace",
+        help="output format (chrome-trace: Chrome/Perfetto trace-event "
+        "JSON, worker spans on per-pid tracks)",
+    )
+    export.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="output path (default: TRACE_DIR/trace_events.json)",
+    )
+    export.set_defaults(fn=_cmd_export)
     return parser
 
 

@@ -94,14 +94,18 @@ def run_experiments(ids: List[str], seed: int = 0) -> List[ExperimentOutput]:
     from repro import obs
 
     outputs = []
-    for experiment_id in ids:
+    for position, experiment_id in enumerate(ids):
         if experiment_id not in REGISTRY:
             raise KeyError(
                 f"unknown experiment {experiment_id!r}; "
                 f"known: {', '.join(sorted(REGISTRY))}"
             )
+        obs.progress(
+            "experiments", position, len(ids), current=experiment_id
+        )
         with obs.span("experiment", id=experiment_id, seed=seed):
             outputs.append(REGISTRY[experiment_id](seed))
+    obs.progress("experiments", len(ids), len(ids))
     return outputs
 
 
@@ -113,6 +117,17 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type for options that must be a strictly positive float."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {text!r}")
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text}")
     return value
 
 
@@ -206,6 +221,17 @@ def main(argv: List[str] = None) -> int:
         "them to the seed, config fingerprint and git revision",
     )
     parser.add_argument(
+        "--sample-interval",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="with --trace-dir: run a background resource sampler at "
+        "this interval (seconds), streaming wall clock, RSS, CPU time "
+        "and the open span path into resources.jsonl for "
+        "'repro-analyze watch'; observers only, the simulation stays "
+        "bit-identical",
+    )
+    parser.add_argument(
         "--policy",
         # derived from the policy registry, so a newly registered policy
         # is immediately addressable from the CLI
@@ -261,6 +287,9 @@ def main(argv: List[str] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.sample_interval is not None and args.trace_dir is None:
+        parser.error("--sample-interval requires --trace-dir")
+
     if args.workers is not None:
         from repro.fleet.execution import set_default_workers
 
@@ -303,6 +332,7 @@ def main(argv: List[str] = None) -> int:
             # two manifests with equal fingerprints are comparable runs
             obs.start_trace_session(
                 args.trace_dir,
+                sample_interval=args.sample_interval,
                 seed=args.seed,
                 experiments=ids,
                 config_fingerprint=fingerprint(

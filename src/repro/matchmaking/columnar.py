@@ -820,6 +820,12 @@ def run_columnar(sim) -> "MatchmakingResult":
                 }
             )
             prev_totals = totals
+        obs.progress(
+            "matchmaking.columnar.epochs",
+            epoch + 1,
+            n_epochs,
+            policy=policy.name,
+        )
 
     per_server_attempts += np.asarray(admit_attempts, dtype=np.int64)
     if full_least_count:

@@ -509,6 +509,9 @@ class MatchmakingSimulator:
                     }
                 )
                 prev_totals = totals
+            obs.progress(
+                "matchmaking.epochs", epoch + 1, n_epochs, policy=policy.name
+            )
 
         return MatchmakingResult(
             fleet=fleet,

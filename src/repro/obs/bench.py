@@ -46,6 +46,11 @@ from repro.obs.export import NumpyJSONEncoder, git_revision
 #: Trajectory file schema (a dict holding a ``records`` list).
 BENCH_SCHEMA_VERSION = 1
 
+#: Hard cap on trajectory length: the newest records win.  A committed
+#: trajectory grows by one point per PR, so 200 covers years of history
+#: while keeping the file reviewable in a diff.
+MAX_BENCH_RECORDS = 200
+
 #: Packets in the kernel throughput probe.
 _KERNEL_PACKETS = 200_000
 #: Tasks in the cache hit-rate probe.
@@ -143,8 +148,38 @@ def collect_perf_record() -> Dict[str, Any]:
     return record
 
 
+def compact_records(records: list) -> list:
+    """Bound a trajectory: latest record per ``git_rev``, newest 200.
+
+    Re-running benchmarks at one revision (local iteration, a re-pushed
+    CI job) used to stack duplicate points; only the last run per rev is
+    the trend signal, so earlier same-rev records are dropped.  Records
+    without a ``git_rev`` (hand-written probes, unit tests) are never
+    collapsed.  Order is preserved; when the file still exceeds
+    :data:`MAX_BENCH_RECORDS` the oldest records go first.
+    """
+    last_by_rev: Dict[str, int] = {}
+    for index, record in enumerate(records):
+        rev = record.get("git_rev") if isinstance(record, dict) else None
+        if rev is not None:
+            last_by_rev[rev] = index
+    compacted = [
+        record
+        for index, record in enumerate(records)
+        if not isinstance(record, dict)
+        or record.get("git_rev") is None
+        or last_by_rev[record["git_rev"]] == index
+    ]
+    return compacted[-MAX_BENCH_RECORDS:]
+
+
 def append_bench_record(path, record: Dict[str, Any]) -> None:
-    """Append one record to the trajectory file (created if missing)."""
+    """Append one record to the trajectory file (created if missing).
+
+    The file is compacted on every append (see :func:`compact_records`),
+    so the committed trajectory never grows without bound and never
+    carries more than one point per revision.
+    """
     path = Path(path)
     trajectory: Dict[str, Any] = {
         "schema": BENCH_SCHEMA_VERSION,
@@ -161,6 +196,7 @@ def append_bench_record(path, record: Dict[str, Any]) -> None:
             pass  # corrupt trajectory: restart it rather than crash
     trajectory["schema"] = BENCH_SCHEMA_VERSION
     trajectory["records"].append(record)
+    trajectory["records"] = compact_records(trajectory["records"])
     tmp = path.with_suffix(path.suffix + ".tmp")
     with open(tmp, "w", encoding="utf-8") as handle:
         json.dump(trajectory, handle, cls=NumpyJSONEncoder, indent=2)

@@ -22,6 +22,7 @@ traced and untraced runs are bit-identical
 
 from __future__ import annotations
 
+import sys
 import time
 from typing import Any, Dict, List, Optional
 
@@ -29,8 +30,17 @@ try:  # POSIX; absent only on exotic platforms
     import resource
 
     def peak_rss_kb() -> float:
-        """Process peak resident set size so far, in KiB (monotone)."""
-        return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+        """Process peak resident set size so far, in KiB (monotone).
+
+        ``getrusage`` reports ``ru_maxrss`` in KiB on Linux but in
+        *bytes* on macOS — normalised here so manifests and resource
+        samples are comparable across platforms.  (``sys.platform`` is
+        read per call so tests can monkeypatch it.)
+        """
+        maxrss = float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+        if sys.platform == "darwin":
+            return maxrss / 1024.0
+        return maxrss
 
 except ImportError:  # pragma: no cover - non-POSIX fallback
 
@@ -159,6 +169,15 @@ class Tracer:
             self._stack.pop()
         elif span in self._stack:  # pragma: no cover - misuse guard
             self._stack.remove(span)
+
+    def open_path(self) -> str:
+        """The currently-open span stack as a ``/``-joined path.
+
+        Empty string when no span is open.  Reads a snapshot of the
+        stack, so it is safe to call from the resource-sampler thread
+        while the main thread pushes and pops spans.
+        """
+        return "/".join(span.name for span in tuple(self._stack))
 
     def absorb(self, records: List[Dict[str, Any]], **extra: Any) -> None:
         """Merge a worker tracer's flat records under the open span.

@@ -1,5 +1,7 @@
 """Tests for the repro-simulate CLI and the repro-experiments runner."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
@@ -456,9 +458,43 @@ class TestExperimentsTraceDir:
         assert len(lines) == 1
         assert re.fullmatch(
             r"trace rollup: \d+\.\d\d s wall \| peak rss \d+\.\d MiB "
-            r"\| \d+ spans \| cache unused",
+            r"\| \d+ spans \| \d+ heartbeats \| \d+ samples "
+            r"\| cache unused",
             lines[0],
         ), lines[0]
+
+    def test_sample_interval_requires_trace_dir(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["matchmaking", "--sample-interval", "0.5"])
+        assert excinfo.value.code == 2
+        assert "--sample-interval requires --trace-dir" in (
+            capsys.readouterr().err
+        )
+
+    def test_sample_interval_must_be_positive(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(
+                ["matchmaking", "--trace-dir", str(tmp_path / "t"),
+                 "--sample-interval", "-1"]
+            )
+        assert excinfo.value.code == 2
+        assert "must be > 0" in capsys.readouterr().err
+
+    def test_sample_interval_streams_resources(self, tmp_path, capsys):
+        from repro.obs.export import load_manifest, read_jsonl
+
+        trace_dir = tmp_path / "trace"
+        code = runner.main(
+            ["matchmaking", "--policy", "least_loaded",
+             "--trace-dir", str(trace_dir),
+             "--sample-interval", "0.01"]
+        )
+        assert code == 0
+        rows = read_jsonl(trace_dir / "resources.jsonl")
+        assert rows, "sampler produced no rows"
+        manifest = load_manifest(trace_dir)
+        assert manifest["resource_samples"] == len(rows)
+        assert manifest["heartbeats"] > 0
 
     def test_rollup_reports_cache_hits(self, tmp_path, capsys):
         import re
@@ -572,3 +608,119 @@ class TestAnalyzeCli:
         err = capsys.readouterr().err
         assert "manifest.json" in err
         assert "Traceback" not in err
+
+    def test_summary_surfaces_live_stream_counts(self, trace_dirs, capsys):
+        from repro.cli import analyze_main
+
+        assert analyze_main(["summary", trace_dirs[0]]) == 0
+        out = capsys.readouterr().out
+        assert "live streams:" in out
+        assert "heartbeats" in out
+
+    def test_watch_once_on_finished_run(self, trace_dirs, capsys):
+        from repro.cli import analyze_main
+
+        assert analyze_main(["watch", trace_dirs[0], "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "(finished)" in out
+        assert "matchmaking.columnar.epochs" in out
+        assert "::warning" not in out
+
+    def test_watch_once_strict_on_finished_run_is_clean(
+        self, trace_dirs, capsys
+    ):
+        from repro.cli import analyze_main
+
+        # finished runs never stall, whatever their timestamps' age
+        assert analyze_main(
+            ["watch", trace_dirs[0], "--once", "--strict"]
+        ) == 0
+
+    def test_watch_renders_midflight_progress_and_eta(
+        self, tmp_path, capsys
+    ):
+        """Acceptance: one frame from a mid-flight dir (no manifest yet)
+        shows the bar, counts and an ETA from the recent-window rate."""
+        import json
+        import time as time_mod
+
+        from repro.cli import analyze_main
+
+        midflight = tmp_path / "midflight"
+        midflight.mkdir()
+        now = time_mod.time()
+        with open(midflight / "progress.jsonl", "w") as handle:
+            for unix, done in ((now - 10.0, 10), (now, 30)):
+                handle.write(json.dumps({
+                    "stage": "epochs", "done": done, "total": 60,
+                    "rate": 2.0, "unix": unix, "wall_s": 0.0,
+                    "interval_s": 0.25,
+                }) + "\n")
+        assert analyze_main(["watch", str(midflight), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "(in flight)" in out
+        assert "30/60" in out
+        assert "eta" in out
+        assert "15.0s" in out  # (60-30)/2 per s
+
+    def test_watch_strict_flags_a_stalled_run(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import analyze_main
+
+        stalled = tmp_path / "stalled"
+        stalled.mkdir()
+        with open(stalled / "resources.jsonl", "w") as handle:
+            handle.write(json.dumps({
+                "unix": 1000.0, "wall_s": 1.0, "interval_s": 0.5,
+                "cpu_s": 1.0, "rss_kb": 1.0, "peak_rss_kb": 1.0,
+                "open_span": "experiment", "pid": 1,
+            }) + "\n")
+        # the sample is decades old: stalled under any budget
+        assert analyze_main(
+            ["watch", str(stalled), "--once", "--strict"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "::warning ::" in out
+        # without --strict the stall is an annotation, not a failure
+        assert analyze_main(["watch", str(stalled), "--once"]) == 0
+
+    def test_watch_missing_dir_is_a_clean_error(self, tmp_path, capsys):
+        from repro.cli import analyze_main
+
+        assert analyze_main(
+            ["watch", str(tmp_path / "absent"), "--once"]
+        ) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_export_chrome_trace(self, trace_dirs, tmp_path, capsys):
+        import json
+
+        from repro.cli import analyze_main
+        from repro.obs.export import read_jsonl
+
+        output = tmp_path / "events.json"
+        assert analyze_main(
+            ["export", trace_dirs[0], "-o", str(output)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "span events" in out
+
+        document = json.loads(output.read_text())
+        spans = read_jsonl(Path(trace_dirs[0]) / "spans.jsonl")
+        events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == len(spans)
+
+    def test_export_default_output_lands_in_trace_dir(
+        self, trace_dirs, capsys
+    ):
+        from repro.cli import analyze_main
+
+        assert analyze_main(["export", trace_dirs[0]]) == 0
+        assert (Path(trace_dirs[0]) / "trace_events.json").is_file()
+
+    def test_export_missing_dir_is_a_clean_error(self, tmp_path, capsys):
+        from repro.cli import analyze_main
+
+        assert analyze_main(["export", str(tmp_path / "absent")]) == 2
+        assert "Traceback" not in capsys.readouterr().err

@@ -146,6 +146,27 @@ class TestTornTail:
         with pytest.raises(FileNotFoundError, match="manifest.json"):
             analysis.load_run(tmp_path / "empty")
 
+    def test_tail_recovers_full_sequence_at_any_offset(self, tmp_path):
+        """The every-byte-offset sweep, for the live tail reader: a tail
+        that saw the file truncated at *any* offset, then the rest, must
+        deliver exactly the writer's record sequence — no torn record,
+        no duplicate, no loss."""
+        from repro.obs.live import tail_jsonl
+
+        self._write_session(tmp_path / "trace")
+        path = tmp_path / "trace" / "spans.jsonl"
+        raw = path.read_bytes()
+        full = read_jsonl(path)
+
+        partial = tmp_path / "partial.jsonl"
+        for offset in range(len(raw) + 1):
+            partial.write_bytes(raw[:offset])
+            tail = tail_jsonl(partial)
+            first = tail.poll()
+            partial.write_bytes(raw)  # writer completes the file
+            second = tail.poll()
+            assert first + second == full, f"offset {offset}"
+
 
 class TestCompare:
     def _session(self, root, seed, amount):

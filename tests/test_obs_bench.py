@@ -4,8 +4,10 @@ import json
 
 from repro.obs.bench import (
     BENCH_SCHEMA_VERSION,
+    MAX_BENCH_RECORDS,
     append_bench_record,
     collect_perf_record,
+    compact_records,
     emit_bench_record,
     load_trajectory,
 )
@@ -31,6 +33,54 @@ class TestAppendBenchRecord:
         path = tmp_path / "BENCH_obs_test.json"
         append_bench_record(path, {})
         assert path.read_text(encoding="utf-8").endswith("\n")
+
+    def test_same_rev_keeps_only_the_latest(self, tmp_path):
+        # re-running benchmarks at one revision must not stack duplicate
+        # trajectory points — only the last run per rev is the signal
+        path = tmp_path / "BENCH_obs_test.json"
+        append_bench_record(path, {"git_rev": "aaa", "kernel_pps": 1.0})
+        append_bench_record(path, {"git_rev": "aaa", "kernel_pps": 2.0})
+        append_bench_record(path, {"git_rev": "bbb", "kernel_pps": 3.0})
+        records = load_trajectory(path)["records"]
+        assert [(r["git_rev"], r["kernel_pps"]) for r in records] == [
+            ("aaa", 2.0),
+            ("bbb", 3.0),
+        ]
+
+    def test_records_without_rev_are_never_collapsed(self, tmp_path):
+        path = tmp_path / "BENCH_obs_test.json"
+        append_bench_record(path, {"kernel_pps": 1.0})
+        append_bench_record(path, {"kernel_pps": 2.0})
+        assert len(load_trajectory(path)["records"]) == 2
+
+
+class TestCompactRecords:
+    def test_caps_at_newest_max_records(self):
+        records = [
+            {"git_rev": f"rev{i}", "kernel_pps": float(i)}
+            for i in range(MAX_BENCH_RECORDS + 25)
+        ]
+        compacted = compact_records(records)
+        assert len(compacted) == MAX_BENCH_RECORDS
+        assert compacted[-1] is records[-1]  # newest kept
+        assert compacted[0]["git_rev"] == "rev25"  # oldest dropped
+
+    def test_dedupe_preserves_order(self):
+        records = [
+            {"git_rev": "a", "n": 1},
+            {"git_rev": "b", "n": 2},
+            {"git_rev": "a", "n": 3},
+            {"n": 4},  # no rev: always kept
+        ]
+        compacted = compact_records(records)
+        assert compacted == [
+            {"git_rev": "b", "n": 2},
+            {"git_rev": "a", "n": 3},
+            {"n": 4},
+        ]
+
+    def test_empty_is_empty(self):
+        assert compact_records([]) == []
 
 
 class TestCollectPerfRecord:

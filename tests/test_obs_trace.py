@@ -100,3 +100,29 @@ class TestPeakRss:
         first = peak_rss_kb()
         assert first >= 0
         assert peak_rss_kb() >= first
+
+    def test_platform_normalisation(self, monkeypatch):
+        """ru_maxrss is KiB on Linux but bytes on macOS; peak_rss_kb
+        must normalise so both platforms report KiB."""
+        import sys
+
+        linux = peak_rss_kb()
+        monkeypatch.setattr(sys, "platform", "darwin")
+        darwin = peak_rss_kb()
+        # same underlying ru_maxrss, divided by 1024 under darwin
+        assert darwin == pytest.approx(linux / 1024.0, rel=0.01)
+        monkeypatch.setattr(sys, "platform", "linux")
+        assert peak_rss_kb() == pytest.approx(linux, rel=0.01)
+
+
+class TestOpenPath:
+    def test_open_path_tracks_the_stack(self):
+        tracer = Tracer()
+        install_tracer(tracer)
+        assert tracer.open_path() == ""
+        with span("outer"):
+            assert tracer.open_path() == "outer"
+            with span("inner"):
+                assert tracer.open_path() == "outer/inner"
+            assert tracer.open_path() == "outer"
+        assert tracer.open_path() == ""
