@@ -1,0 +1,88 @@
+"""Bench: the QoE-coupled epoch loop under a scripted demand scenario.
+
+The coupling adds per-admission arithmetic (duration multiplier, balk
+escalation) and the scenario adds per-epoch hazard/capacity modulation —
+including the careful slot accounting the columnar engine switches to
+when effective capacities move.  This bench times the fully coupled
+columnar loop at fleet scale so a regression in the coupled path is
+visible even while the uncoupled benches hold, and cross-checks the
+scalar engine on a smaller pool (the scalar loop at 10^5 players would
+dominate the suite's wall clock for no extra signal).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fleet.profiles import hosting_facility
+from repro.matchmaking import (
+    PoolConfig,
+    QoeConfig,
+    make_scenario,
+    simulate_matchmaking,
+)
+
+#: The coupled headline pool (columnar engine).
+POOL_SIZE = 100_000
+FLEET_SERVERS = 32
+HORIZON_S = 1800.0
+
+#: Scalar cross-check scale.
+SCALAR_SERVERS = 6
+SCALAR_HORIZON_S = 900.0
+
+
+def _coupled_config(fleet, pool_size=None):
+    config = PoolConfig.for_fleet(
+        fleet,
+        pool_size=pool_size,
+        demand_ratio=2.0,
+        epoch_length=60.0,
+        session_duration_mean=300.0,
+    )
+    return config.replace(qoe=QoeConfig(enabled=True))
+
+
+def coupled_columnar_run():
+    fleet = hosting_facility(
+        n_servers=FLEET_SERVERS, duration=HORIZON_S, seed=0
+    )
+    config = _coupled_config(fleet, pool_size=POOL_SIZE)
+    scenario = make_scenario("regional_outage", config.n_epochs)
+    return simulate_matchmaking(
+        fleet, "latency_aware", config, scenario=scenario, engine="columnar"
+    )
+
+
+def test_bench_qoe_coupled_epoch_loop(benchmark):
+    """Coupled columnar loop: 10^5 players, outage scenario, QoE on."""
+    result = benchmark.pedantic(coupled_columnar_run, rounds=1, iterations=1)
+    assert result.config.qoe.enabled
+    assert result.scenario_name == "regional_outage"
+    assert result.admission.admitted > 0
+    # configured capacity is still never exceeded (effective capacity
+    # may dip below occupancy while downed servers drain)
+    assert np.all(
+        result.occupancy <= np.asarray(result.capacities)[:, None]
+    )
+    # the coupling actually fired: some sessions were shortened
+    mults = np.concatenate([m for m in result.qoe_multipliers if m.size])
+    assert mults.size > 0 and float(mults.min()) < 1.0
+
+
+def test_bench_qoe_coupled_scalar(benchmark):
+    """Scalar reference loop under the same coupling, smaller pool."""
+    fleet = hosting_facility(
+        n_servers=SCALAR_SERVERS, duration=SCALAR_HORIZON_S, seed=0
+    )
+    config = _coupled_config(fleet)
+    scenario = make_scenario("flash_crowd", config.n_epochs)
+
+    def run():
+        return simulate_matchmaking(
+            fleet, "capacity_aware", config, scenario=scenario, engine="scalar"
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.config.qoe.enabled
+    assert result.admission.admitted > 0

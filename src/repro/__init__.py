@@ -38,7 +38,12 @@ Top-level layout:
   (:mod:`repro.matchmaking.columnar`, ``engine="auto"``) that batches
   the loop at provable no-contention points bit-identically to the
   scalar reference — plus sharded, cacheable per-server traffic
-  synthesis over the assignments;
+  synthesis over the assignments; the loop closes through the network
+  when :class:`repro.matchmaking.QoeConfig` is enabled (RTT-sensitive
+  session durations, refusal-escalated balking) and
+  :mod:`repro.matchmaking.scenarios` scripts demand events (flash
+  crowds, regional outages, patch-day storms) whose recovery
+  trajectories :class:`repro.core.RecoveryStats` scores;
 * :mod:`repro.obs` — passive observability threaded through every
   layer: a span tracer (no-op unless installed), a process-local
   metrics registry (cache hits, kernel fast-path vs fallback segments,

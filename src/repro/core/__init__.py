@@ -14,6 +14,7 @@ from repro.core.facility import (
     LatencyStats,
     MultiplexingGain,
     OccupancyStats,
+    RecoveryStats,
     occupancy_rtt_frontier,
     oversubscribed_capacity,
     policy_multiplexing_gain,

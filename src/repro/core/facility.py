@@ -264,6 +264,117 @@ class LatencyStats:
         )
 
 
+@dataclass(frozen=True)
+class RecoveryStats:
+    """Recovery trajectory of one per-epoch series around a demand event.
+
+    Scripted scenarios (:mod:`repro.matchmaking.scenarios`) perturb the
+    closed loop at known epochs; steady-state summaries average the
+    perturbation away, so policies are scored on the *trajectory*
+    instead.  ``baseline`` is the mean of the pre-event window
+    ``[0, event_start)``; ``overshoot``/``undershoot`` are the largest
+    excursions above/below it from ``event_start`` on (both reported
+    ≥ 0); ``time_to_baseline`` counts epochs after ``event_end`` until
+    the series first stays inside the tolerance band for
+    ``settle_epochs`` consecutive epochs, or ``None`` if it never
+    settles within the horizon.  NaN epochs (e.g. a mean-RTT series
+    over epochs with no admissions) carry no evidence: they are
+    excluded from the baseline, ignored by the excursion maxima and
+    treated as in-band by the settle scan.
+    """
+
+    baseline: float
+    overshoot: float
+    undershoot: float
+    time_to_baseline: Optional[int]
+    event_start: int
+    event_end: int
+    tolerance: float
+    settle_epochs: int
+
+    @property
+    def recovered(self) -> bool:
+        """True when the series settled back inside the band."""
+        return self.time_to_baseline is not None
+
+    @property
+    def peak_deviation(self) -> float:
+        """Largest absolute excursion from the baseline."""
+        return max(self.overshoot, self.undershoot)
+
+    @classmethod
+    def from_series(
+        cls,
+        series: np.ndarray,
+        event_start: int,
+        event_end: int,
+        tolerance: float = 0.1,
+        settle_epochs: int = 3,
+    ) -> "RecoveryStats":
+        """Score a 1-D per-epoch series against an event window.
+
+        ``tolerance`` is a fraction of ``|baseline|`` (an absolute band
+        when the baseline is zero).  ``event_start`` must leave a
+        non-empty pre-event window and ``event_end`` may equal the
+        series length (an event running to the horizon never recovers).
+        """
+        series = np.asarray(series, dtype=float)
+        if series.ndim != 1:
+            raise ValueError(f"series must be 1-D, got shape {series.shape}")
+        n = series.size
+        event_start = int(event_start)
+        event_end = int(event_end)
+        if not 1 <= event_start < n:
+            raise ValueError(
+                f"event_start must lie in [1, {n}), got {event_start!r} "
+                "(the pre-event window supplies the baseline)"
+            )
+        if not event_start < event_end <= n:
+            raise ValueError(
+                f"event_end must lie in ({event_start}, {n}], "
+                f"got {event_end!r}"
+            )
+        if not tolerance > 0.0:
+            raise ValueError(f"tolerance must be positive: {tolerance!r}")
+        settle_epochs = int(settle_epochs)
+        if settle_epochs < 1:
+            raise ValueError(
+                f"settle_epochs must be at least 1, got {settle_epochs!r}"
+            )
+        pre = series[:event_start]
+        if not np.any(np.isfinite(pre)):
+            raise ValueError(
+                "pre-event window holds no finite samples; "
+                "no baseline to recover to"
+            )
+        baseline = float(np.nanmean(pre))
+        band = tolerance * abs(baseline) if baseline != 0.0 else tolerance
+
+        post = series[event_start:]
+        deviation = post - baseline
+        overshoot = float(np.nanmax(deviation, initial=0.0))
+        undershoot = float(np.nanmax(-deviation, initial=0.0))
+
+        in_band = ~(np.abs(series - baseline) > band)  # NaN counts as in-band
+        time_to_baseline: Optional[int] = None
+        run = 0
+        for k in range(event_end, n):
+            run = run + 1 if in_band[k] else 0
+            if run >= settle_epochs:
+                time_to_baseline = k - settle_epochs + 1 - event_end
+                break
+        return cls(
+            baseline=baseline,
+            overshoot=max(0.0, overshoot),
+            undershoot=max(0.0, undershoot),
+            time_to_baseline=time_to_baseline,
+            event_start=event_start,
+            event_end=event_end,
+            tolerance=float(tolerance),
+            settle_epochs=settle_epochs,
+        )
+
+
 def occupancy_rtt_frontier(
     points: Mapping[str, Tuple[float, float]]
 ) -> Tuple[str, ...]:

@@ -18,6 +18,7 @@ from repro.experiments import (
     aggregation,
     buffering,
     caching,
+    churn,
     closedloop,
     facilitynet,
     fig1,
@@ -76,6 +77,7 @@ _MODULES = (
     fleet,
     facilitynet,
     matchmaking,
+    churn,
 )
 
 #: All experiments in paper order.
@@ -143,6 +145,34 @@ def _score_weight(text: str) -> float:
         return validate_score_weight("value", value)
     except ValueError as error:
         raise argparse.ArgumentTypeError(str(error))
+
+
+def _nonnegative_float(text: str) -> float:
+    """argparse type for options that must be a finite float >= 0."""
+    import math
+
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {text!r}")
+    if not (math.isfinite(value) and value >= 0):
+        raise argparse.ArgumentTypeError(
+            f"must be finite and >= 0, got {text}"
+        )
+    return value
+
+
+def _unit_fraction(text: str) -> float:
+    """argparse type for QoE fractions that must lie in (0, 1]."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {text!r}")
+    if not 0.0 < value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must lie in (0, 1], got {text}"
+        )
+    return value
 
 
 def _writable_directory(text: str) -> str:
@@ -281,6 +311,48 @@ def main(argv: List[str] = None) -> int:
         "whenever it applies (default: auto)",
     )
     parser.add_argument(
+        "--scenario",
+        # derived from the scenario registry, so a newly registered
+        # scenario is immediately addressable from the CLI
+        choices=sorted(churn.SCENARIOS),
+        default=None,
+        help="scripted demand scenario for the churn experiment "
+        "(default: flash_crowd)",
+    )
+    parser.add_argument(
+        "--qoe-duration-floor",
+        type=_unit_fraction,
+        default=None,
+        metavar="F",
+        help="churn experiment: asymptotic session-duration multiplier "
+        "for arbitrarily bad RTT, in (0, 1] (default: 0.3)",
+    )
+    parser.add_argument(
+        "--qoe-rtt-good",
+        type=_nonnegative_float,
+        default=None,
+        metavar="MS",
+        help="churn experiment: RTT (ms) at or below which sessions are "
+        "full length (default: 60)",
+    )
+    parser.add_argument(
+        "--qoe-rtt-scale",
+        type=_positive_float,
+        default=None,
+        metavar="MS",
+        help="churn experiment: exponential decay scale (ms) of the "
+        "duration multiplier beyond the good-RTT threshold "
+        "(default: 120)",
+    )
+    parser.add_argument(
+        "--qoe-balk-escalation",
+        type=_unit_fraction,
+        default=None,
+        metavar="F",
+        help="churn experiment: retry-probability multiplier per prior "
+        "consecutive refusal, in (0, 1] (default: 0.6)",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="list experiment ids with one-line descriptions and exit",
@@ -319,6 +391,16 @@ def main(argv: List[str] = None) -> int:
         matchmaking.set_default_beta(args.beta)
     if args.engine is not None:
         matchmaking.set_default_engine(args.engine)
+    if args.scenario is not None:
+        churn.set_default_scenario(args.scenario)
+    if args.qoe_duration_floor is not None:
+        churn.set_default_qoe_duration_floor(args.qoe_duration_floor)
+    if args.qoe_rtt_good is not None:
+        churn.set_default_qoe_rtt_good(args.qoe_rtt_good)
+    if args.qoe_rtt_scale is not None:
+        churn.set_default_qoe_rtt_scale(args.qoe_rtt_scale)
+    if args.qoe_balk_escalation is not None:
+        churn.set_default_qoe_balk_escalation(args.qoe_balk_escalation)
 
     manifest_path = None
     trace_session = None
@@ -346,6 +428,11 @@ def main(argv: List[str] = None) -> int:
                         "alpha": args.alpha,
                         "beta": args.beta,
                         "engine": args.engine,
+                        "scenario": args.scenario,
+                        "qoe_duration_floor": args.qoe_duration_floor,
+                        "qoe_rtt_good": args.qoe_rtt_good,
+                        "qoe_rtt_scale": args.qoe_rtt_scale,
+                        "qoe_balk_escalation": args.qoe_balk_escalation,
                     }
                 ),
             )
@@ -373,6 +460,11 @@ def main(argv: List[str] = None) -> int:
         matchmaking.set_default_alpha(None)
         matchmaking.set_default_beta(None)
         matchmaking.set_default_engine(None)
+        churn.set_default_scenario(None)
+        churn.set_default_qoe_duration_floor(None)
+        churn.set_default_qoe_rtt_good(None)
+        churn.set_default_qoe_rtt_scale(None)
+        churn.set_default_qoe_balk_escalation(None)
     failures = 0
     for output in outputs:
         print(output.render())

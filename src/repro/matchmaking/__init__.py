@@ -33,6 +33,14 @@ replicas into one coupled facility:
   loop segmented at provable no-contention points and batched with
   numpy, bit-identical to the scalar loop for every stock policy
   (:func:`supports_policy`);
+* :mod:`repro.matchmaking.scenarios` — scripted demand:
+  :class:`DemandScenario` sequences declarative :class:`DemandEvent`\\ s
+  (:class:`FlashCrowd`, :class:`RegionalOutage`, :class:`PatchDayStorm`)
+  that modulate per-epoch attempt hazards and server capacities; stock
+  scenarios live in :data:`SCENARIOS` / :func:`make_scenario`.  QoE
+  feedback (:class:`QoeConfig` on the pool: RTT-sensitive session
+  durations, refusal-balk escalation) closes the loop the other way —
+  congestion → bad QoE → churn → load relief;
 * :mod:`repro.matchmaking.traffic` — picklable per-server traffic tasks
   over assigned populations, sharded through
   :func:`repro.fleet.execution.shard_map_fold` and cached by
@@ -70,12 +78,27 @@ from repro.matchmaking.policies import (
     make_policy,
     validate_score_weight,
 )
-from repro.matchmaking.pool import PlayerTraits, PoolConfig, RegionProfile
+from repro.matchmaking.pool import (
+    PlayerTraits,
+    PoolConfig,
+    QoeConfig,
+    RegionProfile,
+)
 from repro.matchmaking.rtt import (
     RTT_PROFILES,
     RttMatrix,
     RttProfile,
     make_rtt_profile,
+)
+from repro.matchmaking.scenarios import (
+    SCENARIOS,
+    CompiledScenario,
+    DemandEvent,
+    DemandScenario,
+    FlashCrowd,
+    PatchDayStorm,
+    RegionalOutage,
+    make_scenario,
 )
 from repro.matchmaking.traffic import (
     AssignedSeriesTask,
@@ -89,18 +112,26 @@ __all__ = [
     "ENGINES",
     "POLICIES",
     "RTT_PROFILES",
+    "SCENARIOS",
     "AssignedSeriesTask",
     "AssignedWindowTask",
     "CapacityAwarePolicy",
+    "CompiledScenario",
+    "DemandEvent",
+    "DemandScenario",
+    "FlashCrowd",
     "LatencyAwarePolicy",
     "LeastLoadedPolicy",
     "LowestRttPolicy",
     "MatchmakingResult",
     "MatchmakingSimulator",
+    "PatchDayStorm",
     "PlayerTraits",
     "PoolConfig",
+    "QoeConfig",
     "RandomPolicy",
     "RegionProfile",
+    "RegionalOutage",
     "RttMatrix",
     "RttProfile",
     "SelectionPolicy",
@@ -108,6 +139,7 @@ __all__ = [
     "assigned_population",
     "make_policy",
     "make_rtt_profile",
+    "make_scenario",
     "simulate_assigned_series",
     "simulate_assigned_window",
     "simulate_matchmaking",

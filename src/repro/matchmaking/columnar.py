@@ -231,9 +231,19 @@ class _DepartureColumns:
         free: np.ndarray,
         player_state: np.ndarray,
         n_servers: int,
+        careful: bool = False,
     ) -> int:
         """Finish sessions ending before ``until`` (``<=`` unless strict);
-        returns how many drained."""
+        returns how many *admittable* slots opened.
+
+        Without scenario capacity modulation every departure opens one
+        admittable slot and the return value equals the drain count.
+        ``careful`` handles reduced effective capacities: a server whose
+        occupancy still exceeds its effective capacity has negative
+        ``free``, and a departure there opens no admittable slot until
+        ``free`` climbs back above zero (drain semantics — downed
+        servers stop admitting while sessions play out).
+        """
         # fast exit: nothing due — one scalar peek per source instead of
         # a searchsorted per attempt
         if (
@@ -252,7 +262,7 @@ class _DepartureColumns:
             )
         ):
             return 0
-        drained = 0
+        opened = 0
         stop = int(
             self.times.searchsorted(until, side="left" if strict else "right")
         )
@@ -265,16 +275,24 @@ class _DepartureColumns:
                     server = self.servers[k]
                     occupancy[server] -= 1
                     free[server] += 1
+                    if not careful or free[server] > 0:
+                        opened += 1
                     player_state[self.players[k]] = _IDLE
             else:
                 counts = np.bincount(
                     self.servers[lo:hi], minlength=n_servers
                 )
-                occupancy -= counts
-                free += counts
+                if careful:
+                    before = np.maximum(free, 0)
+                    occupancy -= counts
+                    free += counts
+                    opened += int((np.maximum(free, 0) - before).sum())
+                else:
+                    occupancy -= counts
+                    free += counts
+                    opened += hi - lo
                 player_state[self.players[lo:hi]] = _IDLE
             self.head = hi
-            drained += hi - lo
         while self.pending and (
             self.pending[0][0] < until
             if strict
@@ -283,9 +301,10 @@ class _DepartureColumns:
             _, server, player = heapq.heappop(self.pending)
             occupancy[server] -= 1
             free[server] += 1
+            if not careful or free[server] > 0:
+                opened += 1
             player_state[player] = _IDLE
-            drained += 1
-        return drained
+        return opened
 
     def merge_pending(self) -> None:
         """Fold the epoch's admissions into the sorted columns."""
@@ -398,6 +417,18 @@ def run_columnar(sim) -> "MatchmakingResult":
     mu, sigma = lognormal_params(
         config.session_duration_mean, config.session_duration_cv
     )
+    compiled = sim.compiled_scenario
+    # `careful` slot accounting is needed once effective capacities can
+    # drop below live occupancy (free counts may go negative; total_free
+    # then means *admittable* slots, sum(max(free, 0)))
+    careful = compiled is not None and compiled.any_capacity_modulation
+    qoe = config.qoe
+    qoe_on = qoe.enabled
+    refusal_counts = (
+        np.zeros(config.pool_size, dtype=np.int64) if qoe_on else None
+    )
+    qoe_multipliers: List[List[float]] = [[] for _ in range(n_servers)]
+    qoe_repeat_refusals = 0
 
     policy_type = type(policy)
     is_random = policy_type is RandomPolicy
@@ -462,12 +493,34 @@ def run_columnar(sim) -> "MatchmakingResult":
             derive_seed(seed, f"matchmaking-assign:{epoch}")
         )
         duration_streams: Dict[int, _DurationStream] = {}
+        # scenario modulation: per-epoch effective capacities mean the
+        # incrementally-maintained free counts must be rebased, and the
+        # latency_aware denominator tracks the epoch's capacity view
+        if compiled is not None:
+            eff_cap = compiled.capacities_at(epoch, capacities)
+            free = eff_cap - occupancy
+            total_free = (
+                int(np.maximum(free, 0).sum()) if careful else int(free.sum())
+            )
+            if is_lataware:
+                denom = max(int(eff_cap.max()), 1)
+        in_storm = compiled is not None and compiled.forces_downloads(epoch)
+        ep_mult_sum = 0.0
+        ep_mult_count = 0
+        ep_shortened = 0
+        ep_repeat_refusals = 0
 
         # -- fresh arrivals, drawn exactly as the scalar engine does ----
         idle_players = np.flatnonzero(player_state == _IDLE)
         hazard = config.attempt_rate_at(0.5 * (t0 + t1))
-        p_attempt = 1.0 - math.exp(-hazard * (t1 - t0))
-        mask = rng_pool.uniform(size=idle_players.size) < p_attempt
+        draws = rng_pool.uniform(size=idle_players.size)
+        if compiled is not None:
+            mask = draws < compiled.attempt_probabilities(
+                epoch, hazard, t1 - t0, player_region[idle_players]
+            )
+        else:
+            p_attempt = 1.0 - math.exp(-hazard * (t1 - t0))
+            mask = draws < p_attempt
         aplayers = idle_players[mask]
         offsets = rng_pool.uniform(size=int(mask.sum()))
         atimes = t0 + offsets * (t1 - t0)
@@ -500,6 +553,7 @@ def run_columnar(sim) -> "MatchmakingResult":
 
         def _admit(k: int, chosen: int) -> None:
             nonlocal admitted, next_session_id, repeat_assignments, total_free
+            nonlocal ep_mult_sum, ep_mult_count, ep_shortened
             player = int(aplayers[k])
             when = atimes[k]
             admit_attempts[chosen] += 1
@@ -513,6 +567,19 @@ def run_columnar(sim) -> "MatchmakingResult":
                     sigma,
                 )
             duration = stream.next()
+            rtt_ms = float(rtt_rows[player_region[player]][chosen])
+            if qoe_on:
+                # identical ordering to the scalar engine: multiplier on
+                # the raw draw, then the min-duration clamp — so the
+                # columnar window proofs (duration >= min_dur) hold
+                multiplier = qoe.duration_multiplier(rtt_ms)
+                duration *= multiplier
+                qoe_multipliers[chosen].append(multiplier)
+                ep_mult_sum += multiplier
+                ep_mult_count += 1
+                if multiplier < 1.0:
+                    ep_shortened += 1
+                refusal_counts[player] = 0
             if duration < min_dur:
                 duration = min_dur
             end = when + duration
@@ -530,12 +597,11 @@ def run_columnar(sim) -> "MatchmakingResult":
                     end=end,
                     rate_multiplier=float(rate_multipliers[player]),
                     link_class=traits.link_class_of(player),
-                    wants_download=bool(wants_download_arr[player]),
+                    wants_download=bool(wants_download_arr[player])
+                    or in_storm,
                 )
             )
-            session_rtts[chosen].append(
-                float(rtt_rows[player_region[player]][chosen])
-            )
+            session_rtts[chosen].append(rtt_ms)
             next_session_id += 1
             admitted += 1
             if chosen == int(last_server[player]):
@@ -543,14 +609,36 @@ def run_columnar(sim) -> "MatchmakingResult":
             last_server[player] = chosen
             player_state[player] = _PLAYING
 
+        def _note_refusals(players: np.ndarray) -> None:
+            """Batch equivalent of the scalar per-rejection QoE counting.
+
+            Players attempt at most once per epoch (retries re-enter at
+            the *next* epoch start), so the batched fancy-index
+            increment matches the scalar one-at-a-time order exactly.
+            """
+            nonlocal qoe_repeat_refusals, ep_repeat_refusals
+            n_repeat = int(np.count_nonzero(refusal_counts[players]))
+            qoe_repeat_refusals += n_repeat
+            ep_repeat_refusals += n_repeat
+            refusal_counts[players] += 1
+
         i = 0
         while i < n_attempts:
             when = atimes[i]
             total_free += deps.drain(
-                when, False, occupancy, free, player_state, n_servers
+                when, False, occupancy, free, player_state, n_servers,
+                careful,
             )
 
-            if total_free == 0 and not (is_random or is_capacity):
+            if (
+                total_free == 0
+                and not (is_random or is_capacity)
+                # the window walk assumes every in-window departure opens
+                # exactly one admittable slot; a server drained below a
+                # reduced effective capacity (negative free) breaks that,
+                # so those epochs take the generic full spans instead
+                and (not careful or int(free.min()) >= 0)
+            ):
                 # -- saturated window: batch a whole [when, when+min_dur)
                 # window of the departure/attempt alternation ----------
                 # No in-window admission can end inside the window (IEEE
@@ -633,8 +721,13 @@ def run_columnar(sim) -> "MatchmakingResult":
                         if refused.size:
                             rejected += int(refused.size)
                             balked += int(refused.size)
+                            if qoe_on:
+                                _note_refusals(aplayers[i + refused])
                             player_state[aplayers[i + refused]] = _IDLE
                             if is_least:
+                                # refusals inside the window occur with
+                                # every free count at zero, so argmax
+                                # (the scalar's attribution) is server 0
                                 full_least_count += int(refused.size)
                         for rank, att in enumerate(
                             np.flatnonzero(admit_mask_w)
@@ -661,6 +754,8 @@ def run_columnar(sim) -> "MatchmakingResult":
                     full_least_count += count
                 rejected += count
                 balked += count
+                if qoe_on:
+                    _note_refusals(aplayers[i:j])
                 player_state[aplayers[i:j]] = _IDLE
                 i = j
                 continue
@@ -681,7 +776,17 @@ def run_columnar(sim) -> "MatchmakingResult":
                     # select() calls, no occupancy reads
                     for k in range(i, j):
                         rejected += 1
-                        if rng_assign.uniform() < retry_p:
+                        if qoe_on:
+                            pl = int(aplayers[k])
+                            prior = int(refusal_counts[pl])
+                            refusal_counts[pl] += 1
+                            if prior:
+                                qoe_repeat_refusals += 1
+                                ep_repeat_refusals += 1
+                            retry_p_k = qoe.retry_probability(retry_p, prior)
+                        else:
+                            retry_p_k = retry_p
+                        if rng_assign.uniform() < retry_p_k:
                             retry_at = float(atimes[k]) + float(
                                 rng_assign.exponential(retry_mean)
                             )
@@ -701,11 +806,23 @@ def run_columnar(sim) -> "MatchmakingResult":
                         per_server_attempts += counts
                         per_server_rejections += counts
                     elif is_least:
-                        # argmax of an all-zero free vector is server 0;
-                        # accumulate in a plain int, fold in at the end
-                        full_least_count += count
+                        if careful:
+                            # reduced capacities can leave negative free
+                            # entries, so the scalar argmax attribution
+                            # is no longer necessarily server 0 — free
+                            # is static across the span, attribute once
+                            target = int(free.argmax())
+                            per_server_attempts[target] += count
+                            per_server_rejections[target] += count
+                        else:
+                            # argmax of an all-zero free vector is
+                            # server 0; accumulate in a plain int and
+                            # fold in at the end
+                            full_least_count += count
                     rejected += count
                     balked += count
+                    if qoe_on:
+                        _note_refusals(aplayers[i:j])
                     player_state[aplayers[i:j]] = _IDLE
                 i = j
                 continue
@@ -749,6 +866,8 @@ def run_columnar(sim) -> "MatchmakingResult":
                     per_server_rejections += counts
                     rejected += int(refused.size)
                     balked += int(refused.size)
+                    if qoe_on:
+                        _note_refusals(aplayers[i + refused])
                     player_state[aplayers[i + refused]] = _IDLE
                 for k in np.flatnonzero(admit_mask):
                     _admit(i + int(k), int(span_choices[k]))
@@ -796,29 +915,38 @@ def run_columnar(sim) -> "MatchmakingResult":
         # occupancy sampled just before the epoch boundary, matching the
         # scalar engine's strict drain
         total_free += deps.drain(
-            t1, True, occupancy, free, player_state, n_servers
+            t1, True, occupancy, free, player_state, n_servers, careful
         )
         occupancy_trace[:, epoch] = occupancy
         deps.merge_pending()
 
         if obs_session is not None:
             totals = (attempts, admitted, rejected, balked, retried)
-            obs_session.stream("matchmaking_epochs").write(
-                {
-                    "policy": policy.name,
-                    "seed": seed,
-                    "epoch": epoch,
-                    "t0": t0,
-                    "t1": t1,
-                    "attempts": totals[0] - prev_totals[0],
-                    "admitted": totals[1] - prev_totals[1],
-                    "rejected": totals[2] - prev_totals[2],
-                    "balked": totals[3] - prev_totals[3],
-                    "retried": totals[4] - prev_totals[4],
-                    "occupancy": int(occupancy.sum()),
-                    "capacity": int(capacities.sum()),
-                }
-            )
+            row = {
+                "policy": policy.name,
+                "seed": seed,
+                "epoch": epoch,
+                "t0": t0,
+                "t1": t1,
+                "attempts": totals[0] - prev_totals[0],
+                "admitted": totals[1] - prev_totals[1],
+                "rejected": totals[2] - prev_totals[2],
+                "balked": totals[3] - prev_totals[3],
+                "retried": totals[4] - prev_totals[4],
+                "occupancy": int(occupancy.sum()),
+                "capacity": int(capacities.sum()),
+            }
+            # same conditional fields as the scalar engine, so traced
+            # runs stay engine-agnostic byte for byte
+            if qoe_on:
+                row["qoe_mean_multiplier"] = (
+                    ep_mult_sum / ep_mult_count if ep_mult_count else 1.0
+                )
+                row["qoe_sessions_shortened"] = ep_shortened
+                row["qoe_repeat_refusals"] = ep_repeat_refusals
+            if compiled is not None:
+                row["effective_capacity"] = int(eff_cap.sum())
+            obs_session.stream("matchmaking_epochs").write(row)
             prev_totals = totals
         obs.progress(
             "matchmaking.columnar.epochs",
@@ -859,4 +987,11 @@ def run_columnar(sim) -> "MatchmakingResult":
         session_rtts=tuple(
             np.asarray(rtts, dtype=float) for rtts in session_rtts
         ),
+        qoe_multipliers=(
+            tuple(np.asarray(mults, dtype=float) for mults in qoe_multipliers)
+            if qoe_on
+            else ()
+        ),
+        qoe_repeat_refusals=qoe_repeat_refusals,
+        scenario_name=(sim.scenario.name if sim.scenario is not None else None),
     )

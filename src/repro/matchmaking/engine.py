@@ -45,6 +45,7 @@ from repro.gameserver.population import SessionRecord
 from repro.matchmaking.policies import SelectionPolicy, make_policy
 from repro.matchmaking.pool import PlayerTraits, PoolConfig
 from repro.matchmaking.rtt import RttMatrix
+from repro.matchmaking.scenarios import CompiledScenario, DemandScenario
 from repro.sim.random import derive_seed, sample_lognormal
 
 #: Player lifecycle states.
@@ -80,6 +81,14 @@ class MatchmakingResult:
     rtt: Optional[RttMatrix] = None
     #: ``session_rtts[s][i]`` is the RTT (ms) of ``sessions[s][i]``.
     session_rtts: Tuple[np.ndarray, ...] = ()
+    #: With QoE on: ``qoe_multipliers[s][i]`` is the duration multiplier
+    #: applied to ``sessions[s][i]``; empty tuple when QoE is off.
+    qoe_multipliers: Tuple[np.ndarray, ...] = ()
+    #: With QoE on: refusals of players already refused at least once
+    #: (the balk-escalation pressure); 0 when QoE is off.
+    qoe_repeat_refusals: int = 0
+    #: Name of the scripted demand scenario, if one drove the run.
+    scenario_name: Optional[str] = None
 
     # ------------------------------------------------------------------
     @property
@@ -104,11 +113,53 @@ class MatchmakingResult:
             return 0.0
         return self.repeat_assignments / self.admission.admitted
 
-    def occupancy_stats(self) -> OccupancyStats:
-        """Facility occupancy distribution over server-epochs."""
+    def occupancy_stats(self, after: float = 0.0) -> OccupancyStats:
+        """Facility occupancy distribution over server-epochs.
+
+        ``after`` drops epochs ending at or before that time — the same
+        warmup cut the experiments apply — while always keeping at
+        least the final epoch.
+        """
+        occupancy = self.occupancy
+        if after > 0.0:
+            start = min(
+                int(math.ceil(after / self.config.epoch_length - 1e-9)),
+                self.n_epochs - 1,
+            )
+            occupancy = occupancy[:, start:]
         return OccupancyStats.from_occupancy(
-            self.occupancy, np.asarray(self.capacities)
+            occupancy, np.asarray(self.capacities)
         )
+
+    def total_occupancy_series(self) -> np.ndarray:
+        """Facility-wide occupancy per epoch (the recovery trajectory)."""
+        return self.occupancy.sum(axis=0)
+
+    def per_epoch_mean_rtt(self) -> np.ndarray:
+        """Mean RTT (ms) of sessions *started* in each epoch; NaN when none.
+
+        The RTT half of a recovery trajectory: after a regional outage
+        the surviving servers are farther from the affected players, so
+        this series spikes with the event and relaxes with recovery.
+        """
+        sums = np.zeros(self.n_epochs, dtype=float)
+        counts = np.zeros(self.n_epochs, dtype=np.int64)
+        for session_list, rtts in zip(self.sessions, self.session_rtts):
+            if not session_list:
+                continue
+            starts = np.fromiter(
+                (record.start for record in session_list),
+                dtype=float,
+                count=len(session_list),
+            )
+            epochs = np.minimum(
+                (starts / self.config.epoch_length).astype(np.int64),
+                self.n_epochs - 1,
+            )
+            np.add.at(sums, epochs, np.asarray(rtts, dtype=float))
+            np.add.at(counts, epochs, 1)
+        with np.errstate(invalid="ignore"):
+            return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
 
     def all_session_rtts(self, after: float = 0.0) -> np.ndarray:
         """Admitted sessions' RTTs (ms), grouped by server index.
@@ -142,9 +193,15 @@ class MatchmakingResult:
             self.all_session_rtts(after=after), percentile=percentile
         )
 
-    def describe(self) -> str:
-        """One-line summary: policy, admissions, rejection, occupancy, RTT."""
-        stats = self.occupancy_stats()
+    def describe(self, after: float = 0.0) -> str:
+        """One-line summary: policy, admissions, rejection, occupancy, RTT.
+
+        ``after`` applies the experiments' warmup cut to the
+        utilization and RTT figures (admission counters stay run-wide),
+        so the one-liner and the experiment tables agree; the default 0
+        keeps the historical full-run summary byte-identical.
+        """
+        stats = self.occupancy_stats(after=after)
         line = (
             f"{self.policy:>14}: {self.admission.admitted} admitted / "
             f"{self.admission.attempts} attempts, "
@@ -153,7 +210,7 @@ class MatchmakingResult:
             f"affinity {self.affinity_fraction:5.1%}"
         )
         if self.rtt is not None:
-            line += f", rtt {self.latency_stats().mean_ms:6.1f} ms"
+            line += f", rtt {self.latency_stats(after=after).mean_ms:6.1f} ms"
         return line
 
 
@@ -181,6 +238,11 @@ class MatchmakingSimulator:
         region profile and this simulator's seed, so every policy sees
         geometry and records per-session RTTs even when it places
         latency-blind.
+    scenario:
+        An optional :class:`~repro.matchmaking.scenarios.DemandScenario`
+        of scripted demand events (flash crowd, regional outage,
+        patch-day storm).  Compiled once against this pool/fleet shape;
+        ``None`` (default) is the exact scenario-free code path.
     engine:
         ``"auto"`` (default) runs the vectorised
         :mod:`repro.matchmaking.columnar` engine for the six built-in
@@ -200,6 +262,7 @@ class MatchmakingSimulator:
         config: Optional[PoolConfig] = None,
         seed: Optional[int] = None,
         rtt: Optional[RttMatrix] = None,
+        scenario: Optional[DemandScenario] = None,
         engine: str = "auto",
     ) -> None:
         self.fleet = fleet
@@ -229,6 +292,18 @@ class MatchmakingSimulator:
                 f"RTT matrix covers {self.rtt.n_servers} servers; "
                 f"the fleet has {fleet.n_servers}"
             )
+        self.scenario = scenario
+        #: The scenario resolved to per-epoch modulation arrays; both
+        #: engines consult this one object, never the raw events.
+        self.compiled_scenario: Optional[CompiledScenario] = (
+            None
+            if scenario is None
+            else scenario.compile(
+                self.config.n_epochs,
+                self.rtt.region_names,
+                self.rtt.server_regions,
+            )
+        )
         # out-of-tree policies written against the pre-RTT signature
         # (occupancy, capacities, last_server, rng) keep working: only
         # pass the RTT view to select() implementations that accept it.
@@ -285,6 +360,25 @@ class MatchmakingSimulator:
         metrics.histogram("matchmaking.epoch_occupancy").observe_many(
             result.occupancy.sum(axis=0).tolist()
         )
+        if result.config.qoe.enabled:
+            # emitted only when the coupling is on, so off-run manifests
+            # stay byte-identical to pre-QoE history
+            mults = (
+                np.concatenate(result.qoe_multipliers)
+                if result.qoe_multipliers
+                else np.empty(0)
+            )
+            metrics.counter("matchmaking.qoe.sessions").inc(int(mults.size))
+            metrics.counter("matchmaking.qoe.sessions_shortened").inc(
+                int(np.count_nonzero(mults < 1.0))
+            )
+            metrics.counter("matchmaking.qoe.repeat_refusals").inc(
+                result.qoe_repeat_refusals
+            )
+            if mults.size:
+                metrics.histogram(
+                    "matchmaking.qoe.duration_multiplier"
+                ).observe_many(mults.tolist())
         session = obs.current_session()
         if session is not None:
             # region geometry and per-server session RTTs ride along so
@@ -344,6 +438,18 @@ class MatchmakingSimulator:
         per_server_attempts = np.zeros(n_servers, dtype=np.int64)
         per_server_rejections = np.zeros(n_servers, dtype=np.int64)
 
+        # QoE coupling state: deterministic functions of already-drawn
+        # randomness (multipliers and thresholds, never extra draws), so
+        # both engines keep identical RNG stream positions with it on
+        compiled = self.compiled_scenario
+        qoe = config.qoe
+        qoe_on = qoe.enabled
+        refusal_counts = (
+            np.zeros(config.pool_size, dtype=np.int64) if qoe_on else None
+        )
+        qoe_multipliers: List[List[float]] = [[] for _ in range(n_servers)]
+        qoe_repeat_refusals = 0
+
         #: (end_time, server, player) min-heap of active sessions.
         departures: List[Tuple[float, int, int]] = []
         #: (retry_time, player) min-heap of pending retries.
@@ -384,12 +490,34 @@ class MatchmakingSimulator:
                 derive_seed(self.seed, f"matchmaking-assign:{epoch}")
             )
             duration_streams: Dict[int, np.random.Generator] = {}
+            # scenario modulation: effective capacities (downed servers
+            # stop admitting, sessions play out) and forced downloads
+            eff_cap = (
+                capacities
+                if compiled is None
+                else compiled.capacities_at(epoch, capacities)
+            )
+            in_storm = compiled is not None and compiled.forces_downloads(
+                epoch
+            )
+            ep_mult_sum = 0.0
+            ep_mult_count = 0
+            ep_shortened = 0
+            ep_repeat_refusals = 0
 
             # -- fresh arrivals from the idle pool ----------------------
             idle_players = np.flatnonzero(player_state == _IDLE)
             hazard = config.attempt_rate_at(0.5 * (t0 + t1))
-            p_attempt = 1.0 - math.exp(-hazard * (t1 - t0))
-            mask = rng_pool.uniform(size=idle_players.size) < p_attempt
+            draws = rng_pool.uniform(size=idle_players.size)
+            if compiled is not None:
+                # same uniforms, per-region thresholds — the IEEE math is
+                # shared with the columnar engine via CompiledScenario
+                mask = draws < compiled.attempt_probabilities(
+                    epoch, hazard, t1 - t0, player_region[idle_players]
+                )
+            else:
+                p_attempt = 1.0 - math.exp(-hazard * (t1 - t0))
+                mask = draws < p_attempt
             arrivals = [
                 (t0 + offset * (t1 - t0), int(player))
                 for player, offset in zip(
@@ -417,22 +545,35 @@ class MatchmakingSimulator:
                 rtt_row = rtt_rows[player_region[player]]
                 if self._select_takes_rtt:
                     chosen = policy.select(
-                        occupancy, capacities, previous, rng_assign,
+                        occupancy, eff_cap, previous, rng_assign,
                         rtt=rtt_row,
                     )
                 else:
                     chosen = policy.select(
-                        occupancy, capacities, previous, rng_assign
+                        occupancy, eff_cap, previous, rng_assign
                     )
                 if chosen is not None:
                     per_server_attempts[chosen] += 1
-                if chosen is None or occupancy[chosen] >= capacities[chosen]:
+                if chosen is None or occupancy[chosen] >= eff_cap[chosen]:
                     rejected += 1
                     if chosen is not None:
                         per_server_rejections[chosen] += 1
+                    if qoe_on:
+                        # escalation reuses the same uniform draw with a
+                        # lower threshold; counted before incrementing
+                        prior = int(refusal_counts[player])
+                        refusal_counts[player] += 1
+                        if prior:
+                            qoe_repeat_refusals += 1
+                            ep_repeat_refusals += 1
+                        retry_p = qoe.retry_probability(
+                            config.retry_probability, prior
+                        )
+                    else:
+                        retry_p = config.retry_probability
                     wants_retry = (
                         policy.retry_on_reject
-                        and rng_assign.uniform() < config.retry_probability
+                        and rng_assign.uniform() < retry_p
                     )
                     if wants_retry:
                         retry_at = when + float(
@@ -452,16 +593,27 @@ class MatchmakingSimulator:
                             self.seed, f"matchmaking-server:{chosen}:{epoch}"
                         )
                     )
-                duration = max(
-                    config.session_duration_min,
-                    float(
-                        sample_lognormal(
-                            duration_streams[chosen],
-                            config.session_duration_mean,
-                            config.session_duration_cv,
-                        )
-                    ),
+                raw = float(
+                    sample_lognormal(
+                        duration_streams[chosen],
+                        config.session_duration_mean,
+                        config.session_duration_cv,
+                    )
                 )
+                rtt_ms = float(rtt_row[chosen])
+                if qoe_on:
+                    # the multiplier scales the *raw* draw, before the
+                    # minimum clamp, so duration >= session_duration_min
+                    # still holds (the columnar window proofs rely on it)
+                    multiplier = qoe.duration_multiplier(rtt_ms)
+                    raw *= multiplier
+                    qoe_multipliers[chosen].append(multiplier)
+                    ep_mult_sum += multiplier
+                    ep_mult_count += 1
+                    if multiplier < 1.0:
+                        ep_shortened += 1
+                    refusal_counts[player] = 0
+                duration = max(config.session_duration_min, raw)
                 end = min(when + duration, horizon)
                 heapq.heappush(departures, (end, chosen, player))
                 occupancy[chosen] += 1
@@ -473,10 +625,11 @@ class MatchmakingSimulator:
                         end=end,
                         rate_multiplier=float(traits.rate_multipliers[player]),
                         link_class=traits.link_class_of(player),
-                        wants_download=bool(traits.wants_download[player]),
+                        wants_download=bool(traits.wants_download[player])
+                        or in_storm,
                     )
                 )
-                session_rtts[chosen].append(float(rtt_row[chosen]))
+                session_rtts[chosen].append(rtt_ms)
                 next_session_id += 1
                 admitted += 1
                 if chosen == previous:
@@ -492,22 +645,31 @@ class MatchmakingSimulator:
 
             if session is not None:
                 totals = (attempts, admitted, rejected, balked, retried)
-                session.stream("matchmaking_epochs").write(
-                    {
-                        "policy": policy.name,
-                        "seed": self.seed,
-                        "epoch": epoch,
-                        "t0": t0,
-                        "t1": t1,
-                        "attempts": totals[0] - prev_totals[0],
-                        "admitted": totals[1] - prev_totals[1],
-                        "rejected": totals[2] - prev_totals[2],
-                        "balked": totals[3] - prev_totals[3],
-                        "retried": totals[4] - prev_totals[4],
-                        "occupancy": int(occupancy.sum()),
-                        "capacity": int(capacities.sum()),
-                    }
-                )
+                row = {
+                    "policy": policy.name,
+                    "seed": self.seed,
+                    "epoch": epoch,
+                    "t0": t0,
+                    "t1": t1,
+                    "attempts": totals[0] - prev_totals[0],
+                    "admitted": totals[1] - prev_totals[1],
+                    "rejected": totals[2] - prev_totals[2],
+                    "balked": totals[3] - prev_totals[3],
+                    "retried": totals[4] - prev_totals[4],
+                    "occupancy": int(occupancy.sum()),
+                    "capacity": int(capacities.sum()),
+                }
+                # new fields ride only on qoe/scenario runs, keeping the
+                # off-run artifact rows byte-identical to history
+                if qoe_on:
+                    row["qoe_mean_multiplier"] = (
+                        ep_mult_sum / ep_mult_count if ep_mult_count else 1.0
+                    )
+                    row["qoe_sessions_shortened"] = ep_shortened
+                    row["qoe_repeat_refusals"] = ep_repeat_refusals
+                if compiled is not None:
+                    row["effective_capacity"] = int(eff_cap.sum())
+                session.stream("matchmaking_epochs").write(row)
                 prev_totals = totals
             obs.progress(
                 "matchmaking.epochs", epoch + 1, n_epochs, policy=policy.name
@@ -535,6 +697,18 @@ class MatchmakingSimulator:
             session_rtts=tuple(
                 np.asarray(rtts, dtype=float) for rtts in session_rtts
             ),
+            qoe_multipliers=(
+                tuple(
+                    np.asarray(mults, dtype=float)
+                    for mults in qoe_multipliers
+                )
+                if qoe_on
+                else ()
+            ),
+            qoe_repeat_refusals=qoe_repeat_refusals,
+            scenario_name=(
+                self.scenario.name if self.scenario is not None else None
+            ),
         )
 
 
@@ -544,9 +718,16 @@ def simulate_matchmaking(
     config: Optional[PoolConfig] = None,
     seed: Optional[int] = None,
     rtt: Optional[RttMatrix] = None,
+    scenario: Optional[DemandScenario] = None,
     engine: str = "auto",
 ) -> MatchmakingResult:
     """Convenience wrapper: run one :class:`MatchmakingSimulator`."""
     return MatchmakingSimulator(
-        fleet, policy, config=config, seed=seed, rtt=rtt, engine=engine
+        fleet,
+        policy,
+        config=config,
+        seed=seed,
+        rtt=rtt,
+        scenario=scenario,
+        engine=engine,
     ).run()

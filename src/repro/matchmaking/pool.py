@@ -87,6 +87,91 @@ class RegionProfile:
 
 
 @dataclass(frozen=True)
+class QoeConfig:
+    """RTT-coupled quality-of-experience behaviour of the pool.
+
+    Default-off: with ``enabled=False`` the engines never consult this
+    config and a run is bit-identical to one built before the knob
+    existed.  When enabled, two couplings close the loop *through the
+    network* — both are deterministic functions of already-drawn
+    randomness, so they consume **zero** extra RNG draws and the scalar
+    and columnar engines stay bit-identical to each other:
+
+    * **session-duration multiplier** — a session's raw lognormal
+      duration draw is scaled by :meth:`duration_multiplier` of the
+      session's RTT *before* the ``session_duration_min`` clamp: metro
+      sessions (RTT at or below ``rtt_good_ms``) are untouched, while
+      transoceanic ones decay exponentially toward ``duration_floor``.
+      High-ping placement therefore churns faster — congestion → bad
+      QoE → churn → load relief;
+    * **refusal-balk escalation** — each consecutive refusal multiplies
+      the retry probability by ``balk_escalation`` (same uniform draw,
+      lower threshold), so players knocked back repeatedly give up
+      instead of hammering a full facility forever.  The per-player
+      refusal count resets on admission.
+    """
+
+    #: Master switch; ``False`` is bit-identical to the pre-QoE engine.
+    enabled: bool = False
+    #: RTT (ms) at or below which a session is full length.
+    rtt_good_ms: float = 60.0
+    #: Exponential decay scale (ms) of the duration multiplier.
+    rtt_scale_ms: float = 120.0
+    #: Asymptotic duration multiplier for arbitrarily bad RTT, in (0, 1].
+    duration_floor: float = 0.3
+    #: Retry-probability multiplier per prior consecutive refusal, (0, 1].
+    balk_escalation: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.rtt_good_ms) and self.rtt_good_ms >= 0):
+            raise ValueError(
+                f"rtt_good_ms must be finite and >= 0: {self.rtt_good_ms!r}"
+            )
+        if not (math.isfinite(self.rtt_scale_ms) and self.rtt_scale_ms > 0):
+            raise ValueError(
+                f"rtt_scale_ms must be finite and positive: "
+                f"{self.rtt_scale_ms!r}"
+            )
+        if not (
+            math.isfinite(self.duration_floor)
+            and 0.0 < self.duration_floor <= 1.0
+        ):
+            raise ValueError(
+                f"duration_floor must lie in (0, 1]: {self.duration_floor!r}"
+            )
+        if not (
+            math.isfinite(self.balk_escalation)
+            and 0.0 < self.balk_escalation <= 1.0
+        ):
+            raise ValueError(
+                f"balk_escalation must lie in (0, 1]: "
+                f"{self.balk_escalation!r}"
+            )
+
+    def duration_multiplier(self, rtt_ms: float) -> float:
+        """Session-duration multiplier for a session at ``rtt_ms``.
+
+        1.0 at or below ``rtt_good_ms``, decaying exponentially toward
+        ``duration_floor``.  Both engines call this exact function per
+        admitted session, so IEEE results agree bit for bit.
+        """
+        if rtt_ms <= self.rtt_good_ms:
+            return 1.0
+        decay = math.exp(-(rtt_ms - self.rtt_good_ms) / self.rtt_scale_ms)
+        return self.duration_floor + (1.0 - self.duration_floor) * decay
+
+    def retry_probability(self, base: float, prior_refusals: int) -> float:
+        """Escalated retry probability after ``prior_refusals`` knocks."""
+        if prior_refusals <= 0:
+            return base
+        return base * self.balk_escalation**prior_refusals
+
+    def replace(self, **changes) -> "QoeConfig":
+        """A copy of the config with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
 class PoolConfig:
     """Parameters of the shared facility player pool.
 
@@ -126,6 +211,10 @@ class PoolConfig:
     base_profile: ServerProfile = field(default_factory=olygamer_week)
     #: Regions players are drawn from (latency-aware matchmaking).
     region_profile: RegionProfile = field(default_factory=RegionProfile)
+
+    # -- RTT-coupled QoE behaviour (default-off) -----------------------
+    #: Session-duration and balk coupling to experienced RTT.
+    qoe: QoeConfig = field(default_factory=QoeConfig)
 
     def __post_init__(self) -> None:
         if self.pool_size < 1:
@@ -196,8 +285,13 @@ class PoolConfig:
         full, so ratios above 1 keep it saturated (the endogenous-refill
         regime) and ratios below 1 leave slack.  ``pool_size`` defaults
         to five players per slot.
+
+        A ``base_profile`` override is *effective*: session-duration and
+        diurnal defaults, the demand-ratio calibration mean and the
+        per-player trait draws all derive from the overridden profile,
+        never the fleet's — traits and durations always agree.
         """
-        base = fleet.base_profile
+        base = overrides.get("base_profile", fleet.base_profile)
         total_slots = sum(
             profile.max_players for profile in fleet.server_profiles()
         )

@@ -229,17 +229,44 @@ class RttMatrix:
         )
 
     # ------------------------------------------------------------------
-    def describe(self) -> str:
-        """One line per server: home region and per-region RTTs."""
+    def describe(self, max_servers: int = 12) -> str:
+        """One line per server: home region and per-region RTTs.
+
+        At fleet scale one line per server is unusable, so matrices
+        wider than ``max_servers`` print the first and last few rows
+        with an ellipsis carrying the omitted count; the header always
+        states the full shape.  Matrices at or under the limit print
+        every row, unchanged.
+        """
+        if max_servers < 2:
+            raise ValueError(
+                f"max_servers must be at least 2, got {max_servers!r}"
+            )
         lines = [
             f"rtt profile {self.profile.name!r}: "
             f"{self.n_regions} regions x {self.n_servers} servers"
         ]
-        for server in range(self.n_servers):
+
+        def _row(server: int) -> str:
             home = self.region_names[int(self.server_regions[server])]
             cells = "  ".join(
                 f"{name}={self.matrix[r, server]:6.1f}ms"
                 for r, name in enumerate(self.region_names)
             )
-            lines.append(f"server {server:2d} [{home:>8}]  {cells}")
+            return f"server {server:2d} [{home:>8}]  {cells}"
+
+        if self.n_servers <= max_servers:
+            shown = range(self.n_servers)
+            omitted = 0
+        else:
+            head = max_servers - max_servers // 2
+            tail = max_servers - head
+            shown = list(range(head)) + list(
+                range(self.n_servers - tail, self.n_servers)
+            )
+            omitted = self.n_servers - max_servers
+        for server in shown:
+            if omitted and server == self.n_servers - (max_servers // 2):
+                lines.append(f"... ({omitted} servers omitted) ...")
+            lines.append(_row(server))
         return "\n".join(lines)

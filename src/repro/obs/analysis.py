@@ -50,6 +50,7 @@ BENCH_THROUGHPUT_KEYS = (
     "cache_hit_rate_warm",
     "matchmaking_players_per_s",
     "matchmaking_columnar_players_per_s",
+    "matchmaking_qoe_players_per_s",
 )
 
 #: Counters bumped exactly once per identically-named span.  Their

@@ -130,6 +130,46 @@ def _measure_matchmaking_rate() -> Dict[str, float]:
     }
 
 
+def _measure_qoe_epoch_rate() -> Dict[str, float]:
+    """Coupled epoch-loop throughput: QoE + scripted scenario active.
+
+    Exercises the careful slot accounting (regional outage modulates
+    capacities) and the per-admission QoE arithmetic, so a regression in
+    the coupled path shows up even while the uncoupled figures hold.
+    """
+    from repro.fleet.profiles import hosting_facility
+    from repro.matchmaking import (
+        PoolConfig,
+        QoeConfig,
+        make_scenario,
+        simulate_matchmaking,
+    )
+
+    fleet = hosting_facility(n_servers=3, duration=900.0, seed=3)
+    config = PoolConfig.for_fleet(
+        fleet,
+        demand_ratio=3.0,
+        epoch_length=60.0,
+        session_duration_mean=180.0,
+        session_duration_min=5.0,
+    ).replace(qoe=QoeConfig(enabled=True))
+    scenario = make_scenario("regional_outage", config.n_epochs)
+    t0 = time.perf_counter()
+    result = simulate_matchmaking(
+        fleet,
+        "latency_aware",
+        config,
+        scenario=scenario,
+        engine="columnar",
+    )
+    wall = time.perf_counter() - t0
+    return {
+        "matchmaking_qoe_players_per_s": (
+            result.admission.attempts / wall if wall > 0 else 0.0
+        ),
+    }
+
+
 def collect_perf_record() -> Dict[str, Any]:
     """One trajectory point: throughput figures + provenance."""
     from repro.kernels import KERNEL_VERSION
@@ -145,6 +185,7 @@ def collect_perf_record() -> Dict[str, Any]:
         "cache_hit_rate_warm": _measure_cache_hit_rate(),
     }
     record.update(_measure_matchmaking_rate())
+    record.update(_measure_qoe_epoch_rate())
     return record
 
 

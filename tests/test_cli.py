@@ -263,6 +263,114 @@ class TestExperimentsMatchmakingFlags:
         assert matchmaking._default_engine is None
 
 
+class TestExperimentsChurnFlags:
+    def test_unknown_scenario_is_a_clean_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["--scenario", "tsunami", "churn"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--scenario" in err
+        assert "Traceback" not in err
+
+    def test_scenario_choices_come_from_the_registry(self, capsys):
+        from repro.matchmaking import SCENARIOS
+
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["--scenario", "tsunami", "churn"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        for name in SCENARIOS:
+            assert name in err
+
+    @pytest.mark.parametrize(
+        "flag", ["--qoe-duration-floor", "--qoe-balk-escalation"]
+    )
+    @pytest.mark.parametrize("value", ["0", "1.5", "-0.5"])
+    def test_out_of_range_fraction_is_a_clean_argparse_error(
+        self, flag, value, capsys
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main([flag, value, "churn"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert flag in err
+        assert "must lie in (0, 1]" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize("value", ["0", "-10", "nan"])
+    def test_bad_rtt_scale_is_a_clean_argparse_error(self, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["--qoe-rtt-scale", value, "churn"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--qoe-rtt-scale" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize("value", ["-1", "nan", "inf"])
+    def test_bad_rtt_good_is_a_clean_argparse_error(self, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["--qoe-rtt-good", value, "churn"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--qoe-rtt-good" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize(
+        "flag", ["--qoe-duration-floor", "--qoe-rtt-good", "--qoe-rtt-scale"]
+    )
+    def test_non_numeric_qoe_value_is_a_clean_argparse_error(
+        self, flag, capsys
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main([flag, "plenty", "churn"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid" in err
+
+    def test_churn_flags_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--scenario" in out
+        assert "--qoe-duration-floor" in out
+        assert "--qoe-balk-escalation" in out
+
+    def test_churn_defaults_are_reset_after_run(self, monkeypatch):
+        from repro.experiments import churn
+
+        calls = {}
+
+        def fake_run(ids, seed=0):
+            calls["scenario"] = churn._default_scenario
+            calls["floor"] = churn._default_qoe_duration_floor
+            calls["good"] = churn._default_qoe_rtt_good
+            calls["scale"] = churn._default_qoe_rtt_scale
+            calls["balk"] = churn._default_qoe_balk_escalation
+            return []
+
+        monkeypatch.setattr(runner, "run_experiments", fake_run)
+        runner.main(
+            [
+                "--scenario", "patch_day", "--qoe-duration-floor", "0.5",
+                "--qoe-rtt-good", "30", "--qoe-rtt-scale", "90",
+                "--qoe-balk-escalation", "0.8", "churn",
+            ]
+        )
+        assert calls == {
+            "scenario": "patch_day",
+            "floor": 0.5,
+            "good": 30.0,
+            "scale": 90.0,
+            "balk": 0.8,
+        }
+        assert churn._default_scenario is None
+        assert churn._default_qoe_duration_floor is None
+        assert churn._default_qoe_rtt_good is None
+        assert churn._default_qoe_rtt_scale is None
+        assert churn._default_qoe_balk_escalation is None
+
+
 class TestExperimentsCacheDir:
     @staticmethod
     def _fake_experiment(tmp_path, monkeypatch):

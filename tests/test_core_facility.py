@@ -119,3 +119,97 @@ class TestFacilityAnalysis:
         assert analysis.overhead_per_packet == OverheadModel(
             WIRE_OVERHEAD_UDP_V4
         ).per_packet
+
+
+class TestRecoveryStats:
+    """Recovery trajectories around scripted demand events."""
+
+    def test_basic_overshoot_and_settle(self):
+        from repro.core.facility import RecoveryStats
+
+        series = np.array(
+            [10, 10, 10, 10, 30, 40, 30, 20, 11, 10, 10, 10, 10], dtype=float
+        )
+        stats = RecoveryStats.from_series(
+            series, event_start=4, event_end=7,
+            tolerance=0.15, settle_epochs=3,
+        )
+        assert stats.baseline == 10.0
+        assert stats.overshoot == 30.0
+        assert stats.undershoot == 0.0
+        assert stats.peak_deviation == 30.0
+        # epoch 7 (20) is out of band; 8..10 are the first 3-epoch
+        # in-band run, starting 1 epoch after the event ends
+        assert stats.time_to_baseline == 1
+        assert stats.recovered
+
+    def test_never_recovers(self):
+        from repro.core.facility import RecoveryStats
+
+        series = np.array([5.0, 5, 5, 50, 50, 50])
+        stats = RecoveryStats.from_series(series, 3, 4)
+        assert stats.time_to_baseline is None
+        assert not stats.recovered
+        assert stats.overshoot == 45.0
+
+    def test_undershoot_side(self):
+        from repro.core.facility import RecoveryStats
+
+        series = np.array([20.0, 20, 20, 5, 8, 20, 20, 20, 20])
+        stats = RecoveryStats.from_series(series, 3, 5)
+        assert stats.undershoot == 15.0
+        assert stats.overshoot == 0.0
+        assert stats.time_to_baseline == 0
+
+    def test_nan_epochs_carry_no_evidence(self):
+        from repro.core.facility import RecoveryStats
+
+        series = np.array(
+            [10.0, np.nan, 10, 10, 40, np.nan, 12, np.nan, 10, 10]
+        )
+        stats = RecoveryStats.from_series(
+            series, 4, 6, tolerance=0.3, settle_epochs=3
+        )
+        # baseline ignores the NaN; the settle scan treats NaN as
+        # in-band, so epochs 6..8 settle immediately
+        assert stats.baseline == 10.0
+        assert stats.overshoot == 30.0
+        assert stats.time_to_baseline == 0
+
+    def test_event_running_to_horizon_never_recovers(self):
+        from repro.core.facility import RecoveryStats
+
+        series = np.array([5.0, 5, 5, 50, 50])
+        stats = RecoveryStats.from_series(series, 3, 5)
+        assert stats.time_to_baseline is None
+
+    def test_validation(self):
+        from repro.core.facility import RecoveryStats
+
+        flat = np.ones(10)
+        with pytest.raises(ValueError):
+            RecoveryStats.from_series(np.ones((2, 5)), 1, 2)
+        with pytest.raises(ValueError):
+            RecoveryStats.from_series(flat, 0, 2)  # empty pre-window
+        with pytest.raises(ValueError):
+            RecoveryStats.from_series(flat, 5, 5)
+        with pytest.raises(ValueError):
+            RecoveryStats.from_series(flat, 5, 11)
+        with pytest.raises(ValueError):
+            RecoveryStats.from_series(flat, 2, 4, tolerance=0.0)
+        with pytest.raises(ValueError):
+            RecoveryStats.from_series(flat, 2, 4, settle_epochs=0)
+        with pytest.raises(ValueError):
+            RecoveryStats.from_series(
+                np.array([np.nan, np.nan, 1.0, 1.0]), 2, 3
+            )
+
+    def test_zero_baseline_uses_absolute_band(self):
+        from repro.core.facility import RecoveryStats
+
+        series = np.array([0.0, 0, 0, 5, 0.05, 0.05, 0.05, 0])
+        stats = RecoveryStats.from_series(
+            series, 3, 4, tolerance=0.1, settle_epochs=3
+        )
+        assert stats.baseline == 0.0
+        assert stats.time_to_baseline == 0

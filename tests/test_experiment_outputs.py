@@ -24,8 +24,8 @@ class TestModuleContract:
 
     def test_registry_count(self):
         # 4 tables + 15 figures + 6 extension studies + fleet +
-        # facilitynet + matchmaking
-        assert len(REGISTRY) == 28
+        # facilitynet + matchmaking + churn
+        assert len(REGISTRY) == 29
 
 
 class TestCheapExperimentsEndToEnd:

@@ -33,7 +33,7 @@ class TestRegistry:
             "table1", "table2", "table3", "table4",
             *(f"fig{i}" for i in range(1, 16)),
             "caching", "linearity", "buffering", "aggregation", "closedloop",
-            "sourcemodel", "fleet", "facilitynet", "matchmaking",
+            "sourcemodel", "fleet", "facilitynet", "matchmaking", "churn",
         }
         assert set(REGISTRY) == expected
 
